@@ -1,0 +1,37 @@
+"""Ablation: DistribLSQ geometry (banks x entries/bank), section 3.5."""
+
+from repro.experiments.runner import DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP, run_one
+from repro.lsq.samie import SamieConfig, SamieLSQ
+
+WORKLOADS = ["ammp", "swim", "gcc"]
+GEOMETRIES = [(16, 8), (32, 4), (64, 2), (128, 1)]
+
+
+def sweep():
+    rows = []
+    for banks, entries in GEOMETRIES:
+        for w in WORKLOADS:
+            def factory(b=banks, e=entries):
+                return SamieLSQ(SamieConfig(banks=b, entries_per_bank=e))
+            r = run_one(w, factory, f"samie-{banks}x{entries}",
+                        DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP)
+            comparisons = r.lsq_stats["addr_comparisons"]
+            rows.append((f"{banks}x{entries}", w, r.ipc,
+                         comparisons / max(1, r.lsq_stats["placed"]),
+                         1e6 * r.deadlock_flushes / r.cycles))
+    return rows
+
+
+def test_ablation_banks(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1, warmup_rounds=0)
+    print()
+    print(f"{'geom':>7} {'bench':>6} {'ipc':>6} {'cmp/place':>9} {'dead/Mc':>8}")
+    for geom, w, ipc, cmp_pp, dead in rows:
+        print(f"{geom:>7} {w:>6} {ipc:>6.2f} {cmp_pp:>9.2f} {dead:>8.0f}")
+    by = {(g, w): (ipc, cmp_pp, dead) for g, w, ipc, cmp_pp, dead in rows}
+    # the section 3.5 finding: 128x1 is *too* banked -- single-entry banks
+    # push streams into the SharedLSQ, whose occupancy every placement
+    # must be compared against, so comparisons per placement blow up
+    assert by[("128x1", "swim")][1] > by[("64x2", "swim")][1]
+    # while a moderately banked design keeps comparisons small
+    assert by[("64x2", "gcc")][1] < 4.0

@@ -1,0 +1,24 @@
+"""Regenerate Figure 1: ARB IPC vs an unbounded LSQ across geometries."""
+
+import os
+
+from repro.experiments import figure1
+
+# full sweep with REPRO_FULL=1; a representative corner sweep by default
+FULL = bool(int(os.environ.get("REPRO_FULL", "0")))
+WORKLOADS = None if FULL else ["ammp", "bzip2", "facerec", "mcf", "swim"]
+CONFIGS = None if FULL else [(1, 128), (8, 16), (64, 2), (128, 1)]
+
+
+def test_figure1(regen):
+    result = regen(figure1.compute, workloads=WORKLOADS, configs=CONFIGS)
+    series = dict(zip(result.column("config"), result.column("ipc_pct")))
+    # paper shape: heavy banking collapses IPC
+    assert series["64x2"] < series["1x128"]
+    assert series["128x1"] <= series["64x2"] + 5.0
+    # halving the in-flight capacity hurts clearly at the banked corner;
+    # at the fully-associative corner our memory-bound machine leaves it
+    # within noise (see EXPERIMENTS.md), so allow a small band there
+    halves = dict(zip(result.column("config"), result.column("ipc_pct_half_addresses")))
+    assert halves["64x2"] < series["64x2"]
+    assert halves["1x128"] < series["1x128"] + 1.5

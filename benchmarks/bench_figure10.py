@@ -1,0 +1,11 @@
+"""Regenerate Figure 10: data-TLB dynamic energy."""
+
+from repro.experiments import figure10
+
+
+def test_figure10(regen):
+    result = regen(figure10.compute)
+    # paper: 73% average saving, and the TLB fraction saved exceeds the
+    # D-cache fraction for essentially every program
+    assert result.summary["avg_saving_pct"] > 30.0
+    assert result.summary["benches_tlb_saving_above_dcache"] >= result.summary["total_benches"] - 2

@@ -1,0 +1,15 @@
+"""Regenerate Figure 12: SAMIE active-area breakdown."""
+
+from repro.experiments import figure12
+
+
+def test_figure12(regen):
+    result = regen(figure12.compute)
+    # paper: DistribLSQ dominates; SharedLSQ share noticeable only for the
+    # pressure programs
+    assert (
+        result.summary["mean_shared_pct_pressure_benches"]
+        > result.summary["mean_shared_pct_others"]
+    )
+    rows = {r[0]: r for r in result.rows}
+    assert rows["gzip"][1] > 60.0

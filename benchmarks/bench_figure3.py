@@ -1,0 +1,15 @@
+"""Regenerate Figure 3: unbounded SharedLSQ occupancy per geometry."""
+
+from repro.experiments import figure3
+
+
+def test_figure3(regen):
+    result = regen(figure3.compute)
+    rows = {r[0]: r for r in result.rows}
+    # paper shape: 128x1 needs the most SharedLSQ; 64x2 is close to 32x4;
+    # ammp dominates and integer programs barely use it
+    assert result.summary["mean_128x1"] >= result.summary["mean_64x2"]
+    gap_641_324 = result.summary["mean_64x2"] - result.summary["mean_32x4"]
+    gap_1281_641 = result.summary["mean_128x1"] - result.summary["mean_64x2"]
+    assert gap_641_324 <= gap_1281_641 + 1.0
+    assert rows["ammp"][2] > rows["gzip"][2]

@@ -1,0 +1,13 @@
+"""Regenerate Figure 4: programs avoiding the AddrBuffer 99% of the time."""
+
+from repro.experiments import figure4
+
+
+def test_figure4(regen):
+    result = regen(figure4.compute)
+    counts = result.column("num_programs")
+    assert counts == sorted(counts)  # cumulative
+    # paper shape: a majority of programs fit in a small SharedLSQ, with a
+    # pressure tail (paper: 16 at 4 entries, 21 at 8, 22 at 12, of 26)
+    assert result.summary["programs_at_8"] >= 0.6 * result.summary["total_programs"]
+    assert result.summary["programs_at_8"] < result.summary["total_programs"]

@@ -1,0 +1,10 @@
+"""Regenerate Figure 5: % IPC loss of SAMIE vs the conventional LSQ."""
+
+from repro.experiments import figure5
+
+
+def test_figure5(regen):
+    result = regen(figure5.compute)
+    # paper: 0.6% average loss; worst case is ammp; some programs gain
+    assert -2.0 < result.summary["avg_ipc_loss_pct"] < 3.0
+    assert result.summary["paper_worst_bench_is_ammp"] == 1.0

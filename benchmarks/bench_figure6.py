@@ -1,0 +1,11 @@
+"""Regenerate Figure 6: deadlock-avoidance flushes per million cycles."""
+
+from repro.experiments import figure6
+
+
+def test_figure6(regen):
+    result = regen(figure6.compute)
+    # paper: ammp is the only program with a significant deadlock rate
+    assert result.summary["max_is_ammp"] == 1.0
+    assert result.summary["max_rate"] > 50.0
+    assert result.summary["benches_above_50"] <= 4

@@ -1,0 +1,11 @@
+"""Regenerate Figure 7: LSQ dynamic energy, conventional vs SAMIE."""
+
+from repro.experiments import figure7
+
+
+def test_figure7(regen):
+    result = regen(figure7.compute)
+    # paper: 82% average saving; SAMIE wins for all but (at most) a few
+    # high-SharedLSQ-pressure programs
+    assert result.summary["avg_saving_pct"] > 55.0
+    assert result.summary["benches_where_samie_wins"] >= result.summary["total_benches"] - 3

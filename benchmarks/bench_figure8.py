@@ -1,0 +1,13 @@
+"""Regenerate Figure 8: SAMIE-LSQ dynamic-energy breakdown."""
+
+from repro.experiments import figure8
+
+
+def test_figure8(regen):
+    result = regen(figure8.compute)
+    # paper: DistribLSQ+bus dominate except for the pressure programs,
+    # whose SharedLSQ/AddrBuffer shares are noticeably larger
+    assert (
+        result.summary["mean_shared+ab_pct_pressure_benches"]
+        > result.summary["mean_shared+ab_pct_others"]
+    )

@@ -1,0 +1,11 @@
+"""Regenerate Figure 9: L1 D-cache dynamic energy."""
+
+from repro.experiments import figure9
+
+
+def test_figure9(regen):
+    result = regen(figure9.compute)
+    # paper: 42% average saving, sixtrack lowest (21%), ammp/swim highest (58%)
+    assert 20.0 < result.summary["avg_saving_pct"] < 65.0
+    assert result.summary["min_saving_bench_is_sixtrack"] == 1.0
+    assert result.summary["max_saving_pct"] > 2 * result.summary["min_saving_pct"]

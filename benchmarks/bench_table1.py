@@ -1,0 +1,10 @@
+"""Regenerate Table 1 + the section 3.6 structure delays (CACTI model)."""
+
+from repro.experiments import table1
+
+
+def test_table1(regen):
+    result = regen(table1.compute)
+    # the headline the paper draws from Table 1 / section 3.6:
+    # the conventional LSQ is ~23% slower than SAMIE's critical path
+    assert result.summary["baseline_over_samie"] > 1.15

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Define a custom workload profile and analyse it on both machines.
+
+Run:  python examples/custom_workload.py
+
+Shows the full workload API: composing address patterns into a
+:class:`~repro.workloads.base.WorkloadProfile`, inspecting the generated
+trace (line sharing and bank skew — the two statistics that decide how
+SAMIE behaves), then simulating it.  The example profile is a sparse
+matrix-vector multiply: streaming row data, random column-gather loads,
+and a hot accumulator.
+"""
+
+from collections import Counter
+
+from repro.core.processor import run_simulation
+from repro.isa.opclasses import OpClass
+from repro.workloads.base import TraceBuilder, WorkloadProfile
+from repro.workloads.patterns import HotRandom, PointerChase, StridedStream
+
+
+def make_profile() -> WorkloadProfile:
+    return WorkloadProfile(
+        name="spmv",
+        suite="fp",
+        mem_frac=0.45,
+        store_frac=0.15,              # mostly loads: values, indices, x-gather
+        branch_frac=0.03,
+        hard_site_frac=0.10,
+        loop_bias=0.97,
+        compute_mix={OpClass.FP_ALU: 0.6, OpClass.FP_MULT: 0.3, OpClass.INT_ALU: 0.1},
+        dep_mean=12.0,
+        n_blocks=4,
+        block_len=32,
+        make_patterns=lambda: [
+            (0.45, StridedStream(0x4000_0000, stride=8, extent=1 << 21)),    # CSR values
+            (0.20, StridedStream(0x4800_0000, stride=4, extent=1 << 20, size=4)),  # indices
+            (0.25, PointerChase(0x5000_0000, footprint_bytes=1 << 22, node_bytes=8, fields=1)),  # x gather
+            (0.10, HotRandom(0x5800_0000, region_bytes=2048)),               # accumulator
+        ],
+        note="CSR sparse matrix-vector multiply",
+    )
+
+
+def analyse_trace(profile: WorkloadProfile, n: int = 8000) -> None:
+    uops = TraceBuilder(profile, seed=1).generate_n(n)
+    mem = [u for u in uops if u.is_mem]
+    window = 256
+    sharing = []
+    for i in range(0, len(mem) - window, window):
+        chunk = mem[i : i + window]
+        sharing.append(len(chunk) / len({u.addr >> 5 for u in chunk}))
+    banks = Counter((u.addr >> 5) % 64 for u in mem)
+    top4 = sum(c for _, c in banks.most_common(4)) / len(mem)
+    print(f"trace analysis ({n} uops, {len(mem)} memory ops):")
+    print(f"  accesses per distinct line in a {window}-op window: "
+          f"{sum(sharing) / len(sharing):.2f}  (SAMIE entry-sharing potential)")
+    print(f"  share of accesses landing in the 4 hottest banks: {100 * top4:.1f}% "
+          "(>25% would pressure the SharedLSQ)")
+    print(f"  pages touched: {len({u.addr >> 12 for u in mem})} (DTLB footprint)")
+
+
+def main() -> None:
+    profile = make_profile()
+    analyse_trace(profile)
+    print()
+    n, warmup = 10_000, 5_000
+    base = run_simulation(TraceBuilder(profile, seed=1).generate(),
+                          lsq="conventional", max_instructions=n, warmup=warmup)
+    samie = run_simulation(TraceBuilder(profile, seed=1).generate(),
+                           lsq="samie", max_instructions=n, warmup=warmup)
+    print(f"conventional: ipc={base.ipc:.3f} "
+          f"lsq={base.lsq_energy_total_pj / base.instructions:.0f} pJ/insn")
+    print(f"SAMIE:        ipc={samie.ipc:.3f} "
+          f"lsq={samie.lsq_energy_total_pj / samie.instructions:.0f} pJ/insn "
+          f"deadlocks={samie.deadlock_flushes}")
+    d = samie.lsq_stats
+    total = d["way_known_accesses"] + d["full_cache_accesses"]
+    print(f"SAMIE way-known rate: {100 * d['way_known_accesses'] / total:.1f}% of cache accesses")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Packaging metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works on environments whose setuptools predates PEP 660
+editable-wheel support (it falls back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,13 @@
+"""Branch prediction substrate.
+
+Implements the paper's front-end configuration (Table 2): a hybrid
+predictor with a 2K-entry gshare, a 2K-entry bimodal and a 1K-entry
+selector, plus a 2048-entry 4-way BTB.
+"""
+
+from repro.branch.bimodal import BimodalPredictor
+from repro.branch.gshare import GsharePredictor
+from repro.branch.hybrid import HybridPredictor
+from repro.branch.btb import BTB
+
+__all__ = ["BimodalPredictor", "GsharePredictor", "HybridPredictor", "BTB"]

@@ -1,0 +1,42 @@
+"""Bimodal (per-PC 2-bit saturating counter) branch direction predictor."""
+
+from __future__ import annotations
+
+from repro.common.bitutils import ilog2
+
+
+class BimodalPredictor:
+    """Classic 2-bit saturating-counter table indexed by PC.
+
+    Counters: 0/1 predict not-taken, 2/3 predict taken; counters are
+    initialised weakly not-taken (1), SimpleScalar style.
+    """
+
+    __slots__ = ("_table", "_index_mask", "_shift")
+
+    def __init__(self, entries: int = 2048, pc_shift: int = 2):
+        ilog2(entries)  # validate power of two
+        self._table = bytearray([1]) * entries if False else bytearray([1] * entries)
+        self._index_mask = entries - 1
+        self._shift = pc_shift
+
+    def _index(self, pc: int) -> int:
+        return (pc >> self._shift) & self._index_mask
+
+    def predict(self, pc: int) -> bool:
+        """Predict the direction of the branch at ``pc``."""
+        return self._table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train with the resolved outcome."""
+        i = self._index(pc)
+        c = self._table[i]
+        if taken:
+            if c < 3:
+                self._table[i] = c + 1
+        elif c > 0:
+            self._table[i] = c - 1
+
+    def counter(self, pc: int) -> int:
+        """Raw 2-bit counter value (for tests/inspection)."""
+        return self._table[self._index(pc)]

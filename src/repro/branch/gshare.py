@@ -1,0 +1,52 @@
+"""Gshare branch direction predictor (global history XOR PC)."""
+
+from __future__ import annotations
+
+from repro.common.bitutils import ilog2
+
+
+class GsharePredictor:
+    """2-bit counter table indexed by ``(pc >> shift) XOR global_history``.
+
+    The global history register is speculatively *not* maintained: the
+    pipeline model trains and advances history at branch resolution, which
+    is accurate for the stall-on-mispredict front end used here (no
+    wrong-path branches ever enter the history).
+    """
+
+    __slots__ = ("_table", "_index_mask", "_shift", "_history", "_hist_mask")
+
+    def __init__(self, entries: int = 2048, pc_shift: int = 2, history_bits: int | None = None):
+        bits = ilog2(entries)
+        self._table = bytearray([1] * entries)
+        self._index_mask = entries - 1
+        self._shift = pc_shift
+        self._history = 0
+        self._hist_mask = (1 << (history_bits if history_bits is not None else bits)) - 1
+
+    @property
+    def history(self) -> int:
+        """Current global history register contents."""
+        return self._history
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> self._shift) ^ self._history) & self._index_mask
+
+    def predict(self, pc: int) -> bool:
+        """Predict the direction of the branch at ``pc``."""
+        return self._table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train the indexed counter and shift the outcome into history."""
+        i = self._index(pc)
+        c = self._table[i]
+        if taken:
+            if c < 3:
+                self._table[i] = c + 1
+        elif c > 0:
+            self._table[i] = c - 1
+        self._history = ((self._history << 1) | int(taken)) & self._hist_mask
+
+    def counter(self, pc: int) -> int:
+        """Raw 2-bit counter currently indexed for ``pc`` (tests only)."""
+        return self._table[self._index(pc)]

@@ -1,0 +1,82 @@
+"""Hybrid (tournament) predictor: gshare + bimodal + selector.
+
+Configuration from Table 2 of the paper: 2K gshare, 2K bimodal, 1K
+selector.  The selector is a table of 2-bit counters indexed by PC; values
+>= 2 choose gshare, < 2 choose bimodal.  Selector training follows the
+classic Alpha 21264 rule: train only when the components disagree, toward
+the component that was right.
+"""
+
+from __future__ import annotations
+
+from repro.branch.bimodal import BimodalPredictor
+from repro.branch.gshare import GsharePredictor
+from repro.common.bitutils import ilog2
+from repro.common.stats import Counter
+
+
+class HybridPredictor:
+    """Tournament predictor with per-component statistics."""
+
+    __slots__ = (
+        "gshare",
+        "bimodal",
+        "_selector",
+        "_sel_mask",
+        "_shift",
+        "lookups",
+        "mispredicts",
+    )
+
+    def __init__(
+        self,
+        gshare_entries: int = 2048,
+        bimodal_entries: int = 2048,
+        selector_entries: int = 1024,
+        pc_shift: int = 2,
+    ):
+        ilog2(selector_entries)
+        self.gshare = GsharePredictor(gshare_entries, pc_shift)
+        self.bimodal = BimodalPredictor(bimodal_entries, pc_shift)
+        self._selector = bytearray([2] * selector_entries)  # weakly prefer gshare
+        self._sel_mask = selector_entries - 1
+        self._shift = pc_shift
+        self.lookups = Counter("branch_lookups")
+        self.mispredicts = Counter("branch_mispredicts")
+
+    def _sel_index(self, pc: int) -> int:
+        return (pc >> self._shift) & self._sel_mask
+
+    def predict(self, pc: int) -> bool:
+        """Predict direction for the branch at ``pc``."""
+        self.lookups.add()
+        if self._selector[self._sel_index(pc)] >= 2:
+            return self.gshare.predict(pc)
+        return self.bimodal.predict(pc)
+
+    def update(self, pc: int, taken: bool, predicted: bool | None = None) -> None:
+        """Resolve the branch: train selector and both components.
+
+        ``predicted`` (when provided) is used only for misprediction
+        statistics; components are always trained with the true outcome.
+        """
+        g = self.gshare.predict(pc)
+        b = self.bimodal.predict(pc)
+        if g != b:
+            i = self._sel_index(pc)
+            c = self._selector[i]
+            if g == taken:
+                if c < 3:
+                    self._selector[i] = c + 1
+            elif c > 0:
+                self._selector[i] = c - 1
+        self.bimodal.update(pc, taken)
+        self.gshare.update(pc, taken)  # also advances global history
+        if predicted is not None and predicted != taken:
+            self.mispredicts.add()
+
+    @property
+    def mispredict_rate(self) -> float:
+        """Fraction of resolved branches whose direction was mispredicted."""
+        n = self.lookups.value
+        return self.mispredicts.value / n if n else 0.0

@@ -1,0 +1,134 @@
+"""Command-line interface: ``samie-repro`` (or ``python -m repro.cli``).
+
+Subcommands:
+
+* ``list``                 -- available workloads and experiments
+* ``run WORKLOAD``         -- simulate one workload on one LSQ design
+* ``figure ID``            -- regenerate one paper artefact (figure1,
+                              figure3..figure12, table1)
+* ``all``                  -- regenerate every artefact
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+
+from repro.core.processor import run_simulation
+from repro.workloads.registry import list_workloads, make_trace
+
+EXPERIMENTS = [
+    "figure1", "figure3", "figure4", "figure5", "figure6", "figure7",
+    "figure8", "figure9", "figure10", "figure11", "figure12", "table1",
+]
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    print("workloads:", ", ".join(list_workloads()))
+    print("experiments:", ", ".join(EXPERIMENTS))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    res = run_simulation(
+        make_trace(args.workload, args.seed),
+        lsq=args.lsq,
+        max_instructions=args.instructions,
+        warmup=args.warmup,
+    )
+    print(f"workload={args.workload} lsq={res.lsq_name}")
+    print(f"  instructions={res.instructions} cycles={res.cycles} ipc={res.ipc:.3f}")
+    print(f"  mispredict_rate={res.mispredict_rate:.3f} l1d_miss={res.l1d_miss_rate:.3f} dtlb_miss={res.dtlb_miss_rate:.3f}")
+    print(f"  lsq_energy={res.lsq_energy_total_pj / 1e3:.1f} nJ  deadlock_flushes={res.deadlock_flushes}")
+    for cat, pj in sorted(res.lsq_energy_pj.items()):
+        print(f"    {cat}: {pj / 1e3:.1f} nJ")
+    return 0
+
+
+#: per-figure column rendered as an ASCII bar chart (the paper's figures
+#: are bar charts), with an optional reference line
+_BAR_COLUMNS = {
+    "figure1": ("ipc_pct", 100.0),
+    "figure5": ("ipc_loss_pct", 0.0),
+    "figure6": ("per_Mcycle", None),
+    "figure7": ("saving_pct", None),
+    "figure9": ("saving_pct", None),
+    "figure10": ("saving_pct", None),
+    "figure11": ("samie_advantage_pct", 0.0),
+}
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    if args.id not in EXPERIMENTS:
+        print(f"unknown experiment {args.id!r}; choose from {EXPERIMENTS}", file=sys.stderr)
+        return 2
+    mod = importlib.import_module(f"repro.experiments.{args.id}")
+    result = mod.compute()
+    print(result.to_text())
+    if args.id in _BAR_COLUMNS:
+        from repro.experiments.report import bar_chart
+
+        col, baseline = _BAR_COLUMNS[args.id]
+        labels = [str(r[0]) for r in result.rows]
+        print()
+        print(bar_chart(labels, result.column(col), baseline=baseline))
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    out_dir = getattr(args, "out", None)
+    if out_dir:
+        import os
+
+        os.makedirs(out_dir, exist_ok=True)
+    for exp in EXPERIMENTS:
+        mod = importlib.import_module(f"repro.experiments.{exp}")
+        result = mod.compute()
+        text = result.to_text()
+        print(text)
+        print()
+        if out_dir:
+            import json
+            import os
+
+            with open(os.path.join(out_dir, f"{exp}.txt"), "w") as fh:
+                fh.write(text + "\n")
+            with open(os.path.join(out_dir, f"{exp}.json"), "w") as fh:
+                json.dump(
+                    {"columns": result.columns, "rows": result.rows,
+                     "summary": result.summary},
+                    fh, indent=2,
+                )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(prog="samie-repro", description=__doc__)
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    sub.add_parser("list", help="list workloads and experiments").set_defaults(fn=_cmd_list)
+
+    run_p = sub.add_parser("run", help="simulate one workload")
+    run_p.add_argument("workload")
+    run_p.add_argument("--lsq", default="samie", choices=["conventional", "unbounded", "samie", "arb"])
+    run_p.add_argument("--instructions", type=int, default=20000)
+    run_p.add_argument("--warmup", type=int, default=5000)
+    run_p.add_argument("--seed", type=int, default=1)
+    run_p.set_defaults(fn=_cmd_run)
+
+    fig_p = sub.add_parser("figure", help="regenerate one paper artefact")
+    fig_p.add_argument("id")
+    fig_p.set_defaults(fn=_cmd_figure)
+
+    all_p = sub.add_parser("all", help="regenerate every artefact")
+    all_p.add_argument("--out", default=None, help="also write per-artefact .txt/.json files here")
+    all_p.set_defaults(fn=_cmd_all)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""Deterministic random-number utilities.
+
+Every stochastic component (workload generators, pattern mixers) draws from
+a ``numpy.random.Generator`` seeded through these helpers so that a given
+(workload, seed) pair always produces the identical dynamic trace — a hard
+requirement for comparing LSQ designs on *the same* instruction stream.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+
+def derive_seed(base_seed: int, *names: str | int) -> int:
+    """Derive a stable child seed from a base seed and a path of names.
+
+    Uses CRC32 over the rendered path so that the mapping is stable across
+    Python processes and platforms (unlike ``hash()``).
+    """
+    text = ":".join(str(n) for n in names)
+    return (base_seed * 0x9E3779B1 + zlib.crc32(text.encode())) % (2**63)
+
+
+def make_rng(base_seed: int, *names: str | int) -> np.random.Generator:
+    """Create a deterministic ``numpy`` generator for a named component."""
+    return np.random.Generator(np.random.PCG64(derive_seed(base_seed, *names)))

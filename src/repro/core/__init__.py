@@ -1,0 +1,25 @@
+"""Out-of-order core: pipeline, ROB, issue queues, functional units.
+
+Import order matters here: ``inflight`` must come first because the LSQ
+package imports it while this package is still initialising.
+"""
+
+from repro.core.inflight import InFlight
+from repro.core.config import ProcessorConfig
+from repro.core.fu import FuncUnitPool
+from repro.core.issue_queue import IssueQueue
+from repro.core.rob import ReorderBuffer
+from repro.core.pipeline import Pipeline, SimResult
+from repro.core.processor import build_processor, run_simulation
+
+__all__ = [
+    "InFlight",
+    "ProcessorConfig",
+    "FuncUnitPool",
+    "IssueQueue",
+    "ReorderBuffer",
+    "Pipeline",
+    "SimResult",
+    "build_processor",
+    "run_simulation",
+]

@@ -1,0 +1,47 @@
+"""Processor configuration (paper Table 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mem.hierarchy import MemConfig
+
+
+@dataclass
+class ProcessorConfig:
+    """Machine parameters; defaults reproduce Table 2 of the paper."""
+
+    fetch_width: int = 8
+    decode_width: int = 8
+    commit_width: int = 8
+    issue_width_int: int = 8
+    issue_width_fp: int = 8
+
+    fetch_queue: int = 64
+    issue_queue_int: int = 128
+    issue_queue_fp: int = 128
+    rob_entries: int = 256
+    int_regs: int = 160
+    fp_regs: int = 160
+
+    int_alu: int = 6
+    int_mult: int = 3
+    fp_alu: int = 4
+    fp_mult: int = 2
+
+    btb_entries: int = 2048
+    btb_assoc: int = 4
+    gshare_entries: int = 2048
+    bimodal_entries: int = 2048
+    selector_entries: int = 1024
+
+    mem: MemConfig = field(default_factory=MemConfig)
+
+    #: flush the pipeline when no instruction commits for this many
+    #: cycles (deadlock-avoidance backstop; legitimate commit gaps are
+    #: bounded by a TLB-miss + L2-miss load, ~150 cycles)
+    commit_watchdog: int = 1000
+    #: enable the load-value correctness oracle (slower; used by tests)
+    track_data: bool = False
+    #: sample SharedLSQ occupancy each cycle (sizing studies)
+    sample_occupancy: bool = True

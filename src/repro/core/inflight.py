@@ -1,0 +1,115 @@
+"""Dynamic state of one in-flight instruction.
+
+``InFlight`` wraps a :class:`~repro.isa.uop.UOp` with everything the
+pipeline and the LSQ models need to track between dispatch and commit.
+It deliberately uses plain attributes (``__slots__``) rather than a state
+machine object: the pipeline is the single writer and the fields are its
+latches.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.isa.uop import UOp
+
+
+class InFlight:
+    """Pipeline state of one dispatched instruction.
+
+    Lifecycle::
+
+        dispatch -> (issue -> execute) -> [mem: address_ready -> placement
+        -> access] -> done -> commit
+
+    Attributes:
+        uop: the static micro-op.
+        src1_seq, src2_seq: absolute producer sequence numbers
+            (-1 = operand ready at dispatch).
+        deps_left: producers still outstanding.
+        issued: instruction has been sent to a functional unit.
+        done: result available (dependents may wake).
+        addr_ready: effective address computed (memory ops).
+        disamb_resolved: this *store* no longer blocks younger loads
+            (conventional: address known; SAMIE: placed in the LSQ).
+        placement: opaque LSQ placement token (None = not placed;
+            the LSQ model owns its meaning).
+        in_addr_buffer: parked in the SAMIE AddrBuffer.
+        mem_started: the D-cache access / forward has been initiated.
+        fwd_store: store this load forwards from (route decided).
+        wait_store: store whose data/commit the load is waiting on.
+        store_data_ready: store operand value available.
+        load_value: model-observed value tag (data-checking mode).
+        ready_cycle: cycle at which the result becomes available.
+    """
+
+    __slots__ = (
+        "uop",
+        "src1_seq",
+        "src2_seq",
+        "deps_left",
+        "issued",
+        "done",
+        "addr_ready",
+        "disamb_resolved",
+        "placement",
+        "in_addr_buffer",
+        "mem_started",
+        "fwd_store",
+        "wait_store",
+        "store_data_ready",
+        "load_value",
+        "ready_cycle",
+    )
+
+    def __init__(self, uop: UOp):
+        self.uop = uop
+        self.src1_seq = -1
+        self.src2_seq = -1
+        self.deps_left = 0
+        self.issued = False
+        self.done = False
+        self.addr_ready = False
+        self.disamb_resolved = False
+        self.placement: Any = None
+        self.in_addr_buffer = False
+        self.mem_started = False
+        self.fwd_store: "InFlight | None" = None
+        self.wait_store: "InFlight | None" = None
+        self.store_data_ready = False
+        self.load_value: Any = None
+        self.ready_cycle = -1
+
+    @property
+    def seq(self) -> int:
+        """Dynamic sequence number (also the age identifier)."""
+        return self.uop.seq
+
+    def byte_range(self) -> tuple[int, int]:
+        """Half-open [start, end) byte range of a memory access."""
+        return self.uop.addr, self.uop.addr + self.uop.size
+
+    def overlaps(self, other: "InFlight") -> bool:
+        """True when the byte ranges of two memory ops intersect."""
+        a0, a1 = self.byte_range()
+        b0, b1 = other.byte_range()
+        return a0 < b1 and b0 < a1
+
+    def contains(self, other: "InFlight") -> bool:
+        """True when this access covers every byte of ``other``."""
+        a0, a1 = self.byte_range()
+        b0, b1 = other.byte_range()
+        return a0 <= b0 and b1 <= a1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = "".join(
+            c
+            for c, f in (
+                ("I", self.issued),
+                ("A", self.addr_ready),
+                ("P", self.placement is not None),
+                ("D", self.done),
+            )
+            if f
+        )
+        return f"InFlight({self.uop!r} [{flags}])"

@@ -1,0 +1,63 @@
+"""Issue queue: holds dispatched instructions until their operands arrive.
+
+Two instances exist (INT and FP, 128 entries each per Table 2).  Entries
+whose dependences are satisfied sit in an age-ordered ready heap; issue
+pops oldest-first subject to functional-unit availability.  Entries leave
+the queue when issued.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.core.inflight import InFlight
+
+
+class IssueQueue:
+    """Bounded issue queue with an age-ordered ready heap."""
+
+    __slots__ = ("capacity", "size", "_ready")
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.size = 0  # waiting + ready, i.e. dispatched but not issued
+        self._ready: list[tuple[int, InFlight]] = []
+
+    def is_full(self) -> bool:
+        """True when dispatch into this queue must stall."""
+        return self.size >= self.capacity
+
+    def insert(self, ins: InFlight) -> None:
+        """Add a dispatched instruction (not yet ready)."""
+        if self.size >= self.capacity:
+            raise OverflowError("issue queue full")
+        self.size += 1
+        if ins.deps_left == 0:
+            self.mark_ready(ins)
+
+    def mark_ready(self, ins: InFlight) -> None:
+        """All operands available: eligible for issue."""
+        heapq.heappush(self._ready, (ins.seq, ins))
+
+    def pop_ready(self) -> InFlight | None:
+        """Oldest ready instruction, removing it from the queue."""
+        if not self._ready:
+            return None
+        _, ins = heapq.heappop(self._ready)
+        self.size -= 1
+        return ins
+
+    def push_back(self, ins: InFlight) -> None:
+        """Return an instruction popped this cycle that could not issue."""
+        heapq.heappush(self._ready, (ins.seq, ins))
+        self.size += 1
+
+    @property
+    def ready_count(self) -> int:
+        """Instructions currently eligible for issue."""
+        return len(self._ready)
+
+    def clear(self) -> None:
+        """Squash all entries (pipeline flush)."""
+        self.size = 0
+        self._ready.clear()

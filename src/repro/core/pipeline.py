@@ -1,0 +1,662 @@
+"""Cycle-level out-of-order pipeline.
+
+Trace-driven 8-wide machine following Table 2 of the paper: fetch (with
+hybrid predictor, BTB and I-cache timing), in-order dispatch into a
+256-entry ROB and split INT/FP issue queues, dataflow issue to functional
+-unit pools, a pluggable LSQ model, D-cache/DTLB timing with 4-port
+arbitration, and 8-wide in-order commit.
+
+Stage order within one simulated cycle (see DESIGN.md §3 for rationale):
+
+1. begin:    release ports/FUs, drain the LSQ AddrBuffer
+2. complete: consume events scheduled for this cycle (wakeups, AGU done,
+             load data return, branch resolution)
+3. commit:   in-order retire, store cache writes, deadlock detection
+4. memory:   start ready loads on free D-cache ports
+5. issue:    ready-heap -> functional units
+6. dispatch: fetch queue -> ROB/IQ/LSQ
+7. fetch:    trace -> fetch queue (prediction, I-cache)
+8. sample:   telemetry (active area, occupancies)
+
+On a branch misprediction fetch stalls until the branch resolves
+(trace-driven: there is no wrong path).  A pipeline flush (the SAMIE
+deadlock-avoidance mechanism, §3.3) squashes every in-flight instruction
+and refetches starting at the ROB head, replaying buffered trace records.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.branch.btb import BTB
+from repro.branch.hybrid import HybridPredictor
+from repro.core.config import ProcessorConfig
+from repro.core.fu import FuncUnitPool
+from repro.core.inflight import InFlight
+from repro.core.issue_queue import IssueQueue
+from repro.core.rob import ReorderBuffer
+from repro.common.queues import RingBuffer
+from repro.common.stats import Histogram
+from repro.energy.accounting import EnergyAccount
+from repro.energy.leakage import ActiveAreaTracker
+from repro.energy.tables import CACHE_ENERGY
+from repro.isa.opclasses import EXEC_LATENCY, FP_CLASSES, PIPELINED, OpClass, fu_pool_for
+from repro.isa.uop import UOp
+from repro.lsq.base import BaseLSQ, RouteKind
+from repro.mem.hierarchy import MemoryHierarchy
+
+
+@dataclass
+class SimResult:
+    """Summary of one simulation run."""
+
+    instructions: int
+    cycles: int
+    lsq_name: str
+    lsq_energy_pj: dict[str, float]
+    cache_energy_pj: dict[str, float]
+    area_um2_cycles: dict[str, float]
+    deadlock_flushes: int
+    mispredict_rate: float
+    l1d_miss_rate: float
+    dtlb_miss_rate: float
+    lsq_stats: dict[str, int]
+    shared_occupancy_mean: float = 0.0
+    shared_occupancy_p99: int = 0
+    addr_buffer_busy_frac: float = 0.0
+    data_violations: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def lsq_energy_total_pj(self) -> float:
+        """Total LSQ dynamic energy (all components and buses)."""
+        return sum(self.lsq_energy_pj.values())
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable snapshot (includes derived metrics)."""
+        from dataclasses import asdict
+
+        d = asdict(self)
+        d["ipc"] = self.ipc
+        d["lsq_energy_total_pj"] = self.lsq_energy_total_pj
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SimResult":
+        """Rebuild a result saved with :meth:`to_dict`."""
+        fields = {k: v for k, v in d.items() if k in cls.__dataclass_fields__}
+        return cls(**fields)
+
+
+class Pipeline:
+    """The cycle loop.  Construct via :func:`repro.core.processor.build_processor`."""
+
+    def __init__(self, cfg: ProcessorConfig, lsq: BaseLSQ, mem: MemoryHierarchy):
+        self.cfg = cfg
+        self.lsq = lsq
+        self.mem = mem
+        self.predictor = HybridPredictor(
+            cfg.gshare_entries, cfg.bimodal_entries, cfg.selector_entries
+        )
+        self.btb = BTB(cfg.btb_entries, cfg.btb_assoc)
+        self.rob = ReorderBuffer(cfg.rob_entries)
+        self.int_iq = IssueQueue(cfg.issue_queue_int)
+        self.fp_iq = IssueQueue(cfg.issue_queue_fp)
+        self.pools = {
+            "int_alu": FuncUnitPool("int_alu", cfg.int_alu),
+            "int_mult": FuncUnitPool("int_mult", cfg.int_mult),
+            "fp_alu": FuncUnitPool("fp_alu", cfg.fp_alu),
+            "fp_mult": FuncUnitPool("fp_mult", cfg.fp_mult),
+        }
+        self.fetch_queue: RingBuffer[UOp] = RingBuffer(cfg.fetch_queue)
+        self.cache_energy = EnergyAccount()
+        self.area = ActiveAreaTracker()
+        # SAMIE presentBit invalidation hook
+        self.mem.l1d.on_evict = self.lsq.on_l1_evict
+
+        self.cycle = 0
+        self.committed = 0
+        self.deadlock_flushes = 0
+        self.overflow_flushes = 0
+        self._last_commit_cycle = 0
+        self._events: dict[int, list[tuple[str, InFlight]]] = {}
+        self._inflight: dict[int, InFlight] = {}
+        self._waiters: dict[int, list[InFlight]] = {}
+        self._data_waiters: dict[int, list[InFlight]] = {}
+        self._pending_loads: list[InFlight] = []
+        self._unresolved_stores: deque[InFlight] = deque()
+        self._int_regs_used = 0
+        self._fp_regs_used = 0
+
+        self._trace: Iterator[UOp] | None = None
+        self._replay: dict[int, UOp] = {}
+        self._fetch_seq = 0
+        self._trace_exhausted = False
+        self._fetch_stall_seq: int | None = None  # mispredicted branch seq
+        self._fetch_block_until = 0  # I-cache miss stall
+        self._last_iline = -1
+        self._flush_requested = False
+
+        # data-value oracle (track_data mode)
+        self._ref_mem: dict[int, int] = {}
+        self._expected: dict[int, tuple[int, ...]] = {}
+        self._committed_mem: dict[int, int] = {}
+        self.data_violations: list[tuple[int, tuple, tuple]] = []
+
+        # occupancy telemetry
+        self.shared_occ_hist = Histogram(max_value=512)
+        self.addr_buffer_busy_cycles = 0
+        self._stat_cycle0 = 0
+        self._stat_committed0 = 0
+
+    # ------------------------------------------------------------------
+    # trace plumbing
+    # ------------------------------------------------------------------
+    def attach_trace(self, trace: Iterator[UOp]) -> None:
+        """Connect the dynamic instruction source."""
+        self._trace = trace
+
+    def _next_uop(self) -> UOp | None:
+        seq = self._fetch_seq
+        uop = self._replay.get(seq)
+        if uop is None:
+            if self._trace_exhausted:
+                return None
+            try:
+                uop = next(self._trace)
+            except StopIteration:
+                self._trace_exhausted = True
+                return None
+            if uop.seq != seq:  # pragma: no cover - generator contract
+                raise RuntimeError(f"trace out of order: got {uop.seq}, want {seq}")
+            self._replay[seq] = uop
+            if self.cfg.track_data:
+                self._oracle_record(uop)
+        self._fetch_seq += 1
+        return uop
+
+    def _oracle_record(self, uop: UOp) -> None:
+        """In-order reference semantics, evaluated at generation time."""
+        if uop.op is OpClass.STORE:
+            for b in range(uop.addr, uop.addr + uop.size):
+                self._ref_mem[b] = uop.seq
+        elif uop.op is OpClass.LOAD:
+            self._expected[uop.seq] = tuple(
+                self._ref_mem.get(b, 0) for b in range(uop.addr, uop.addr + uop.size)
+            )
+
+    # ------------------------------------------------------------------
+    # events
+    # ------------------------------------------------------------------
+    def _schedule(self, cycle: int, kind: str, ins: InFlight) -> None:
+        self._events.setdefault(cycle, []).append((kind, ins))
+
+    def _wake_dependents(self, ins: InFlight) -> None:
+        for w in self._waiters.pop(ins.seq, ()):  # register dependents
+            w.deps_left -= 1
+            if w.deps_left == 0 and not w.issued:
+                (self.fp_iq if w.uop.op in FP_CLASSES else self.int_iq).mark_ready(w)
+        for w in self._data_waiters.pop(ins.seq, ()):  # store data operands
+            w.store_data_ready = True
+            self.lsq.store_data_arrived(w)
+            if w.addr_ready and not w.done:
+                w.done = True
+
+    # ------------------------------------------------------------------
+    # stage 2: complete
+    # ------------------------------------------------------------------
+    def _complete(self) -> None:
+        for kind, ins in self._events.pop(self.cycle, ()):  # events for this cycle
+            if ins.seq not in self._inflight:
+                continue  # squashed by a flush after scheduling
+            if kind == "agu":
+                ins.addr_ready = True
+                self.lsq.address_ready(ins)
+                if self.lsq_need_flush():
+                    self._flush_requested = True
+                if ins.uop.is_store:
+                    self._advance_store_frontier()
+                    if ins.store_data_ready:
+                        ins.done = True
+                else:
+                    self._pending_loads.append(ins)
+            elif kind == "exec":
+                ins.done = True
+                self._wake_dependents(ins)
+                if ins.uop.is_branch:
+                    self._resolve_branch(ins)
+            elif kind == "mem":
+                ins.done = True
+                self._wake_dependents(ins)
+            else:  # pragma: no cover
+                raise RuntimeError(f"unknown event {kind}")
+
+    def lsq_need_flush(self) -> bool:
+        """AddrBuffer overflow signal from the SAMIE model."""
+        return bool(getattr(self.lsq, "need_flush", False))
+
+    def _resolve_branch(self, ins: InFlight) -> None:
+        u = ins.uop
+        self.predictor.update(u.pc, u.taken, predicted=None)
+        if u.taken:
+            self.btb.update(u.pc, u.target)
+        if self._fetch_stall_seq == ins.seq:
+            self._fetch_stall_seq = None
+
+    def _advance_store_frontier(self) -> None:
+        q = self._unresolved_stores
+        while q and (q[0].disamb_resolved or q[0].seq not in self._inflight):
+            q.popleft()
+
+    def _min_unresolved_store(self) -> int:
+        self._advance_store_frontier()
+        return self._unresolved_stores[0].seq if self._unresolved_stores else 1 << 62
+
+    # ------------------------------------------------------------------
+    # stage 3: commit
+    # ------------------------------------------------------------------
+    def _commit(self) -> None:
+        for _ in range(self.cfg.commit_width):
+            head = self.rob.head()
+            if head is None:
+                return
+            if head.uop.is_mem and head.addr_ready and head.placement is None:
+                # the paper's deadlock-avoidance check (§3.3)
+                if self.lsq.head_blocked(head):
+                    self._flush(reason="deadlock")
+                    return
+                if head.placement is None:
+                    return  # placed next cycle via AddrBuffer drain
+            if not head.done:
+                return
+            if head.uop.is_store:
+                if head.placement is None:
+                    return  # cannot write the cache before disambiguation
+                if not self.mem.dports.try_acquire():
+                    return  # no write port this cycle
+                self._store_writeback(head)
+            self._retire(head)
+
+    def _store_writeback(self, ins: InFlight) -> None:
+        route = self.lsq.route_store_commit(ins)
+        out = self.mem.daccess(
+            ins.uop.addr, write=True, skip_tlb=route.skip_tlb, way_known=route.way_known
+        )
+        self._charge_access(route.way_known, route.skip_tlb)
+        self.lsq.record_location(ins, out.l1.set_index, out.l1.way)
+        self.mem.l1d.set_present_bit(out.l1.set_index, out.l1.way, True)
+        if self.cfg.track_data:
+            for b in range(ins.uop.addr, ins.uop.addr + ins.uop.size):
+                self._committed_mem[b] = ins.seq
+
+    def _charge_access(self, way_known: bool, skip_tlb: bool) -> None:
+        if way_known:
+            self.cache_energy.charge("dcache", CACHE_ENERGY["dcache_way_known_access"])
+        else:
+            self.cache_energy.charge("dcache", CACHE_ENERGY["dcache_full_access"])
+        if not skip_tlb:
+            self.cache_energy.charge("dtlb", CACHE_ENERGY["dtlb_access"])
+
+    def _retire(self, ins: InFlight) -> None:
+        if ins.uop.is_mem:
+            self.lsq.commit(ins)
+        self.rob.pop_head()
+        del self._inflight[ins.seq]
+        self._replay.pop(ins.seq, None)
+        self._release_reg(ins)
+        if self.cfg.track_data and ins.uop.is_load:
+            expected = self._expected.pop(ins.seq, None)
+            if expected is not None and ins.load_value != expected:
+                self.data_violations.append((ins.seq, expected, ins.load_value))
+        self.committed += 1
+        self._last_commit_cycle = self.cycle
+
+    def _release_reg(self, ins: InFlight) -> None:
+        op = ins.uop.op
+        if op in FP_CLASSES:
+            self._fp_regs_used -= 1
+        elif op is OpClass.LOAD or op in (OpClass.INT_ALU, OpClass.INT_MULT, OpClass.INT_DIV):
+            self._int_regs_used -= 1
+
+    # ------------------------------------------------------------------
+    # stage 4: memory
+    # ------------------------------------------------------------------
+    def _memory_issue(self) -> None:
+        if not self._pending_loads:
+            return
+        frontier = self._min_unresolved_store()
+        still: list[InFlight] = []
+        for ld in self._pending_loads:
+            if ld.seq not in self._inflight or ld.mem_started:
+                continue
+            if ld.seq > frontier or not self.lsq.load_ready(ld):
+                still.append(ld)
+                continue
+            route = self.lsq.route_load(ld)
+            if route.kind is RouteKind.FORWARD:
+                ld.mem_started = True
+                ld.fwd_store = route.store
+                if self.cfg.track_data:
+                    ld.load_value = tuple(route.store.seq for _ in range(ld.uop.size))
+                self._schedule(self.cycle + 1, "mem", ld)
+            else:
+                if not self.mem.dports.try_acquire():
+                    still.append(ld)
+                    continue
+                ld.mem_started = True
+                out = self.mem.daccess(
+                    ld.uop.addr, write=False, skip_tlb=route.skip_tlb, way_known=route.way_known
+                )
+                self._charge_access(route.way_known, route.skip_tlb)
+                self.lsq.record_location(ld, out.l1.set_index, out.l1.way)
+                self.mem.l1d.set_present_bit(out.l1.set_index, out.l1.way, True)
+                if self.cfg.track_data:
+                    ld.load_value = tuple(
+                        self._committed_mem.get(b, 0)
+                        for b in range(ld.uop.addr, ld.uop.addr + ld.uop.size)
+                    )
+                self._schedule(self.cycle + max(1, out.latency), "mem", ld)
+        self._pending_loads = still
+
+    # ------------------------------------------------------------------
+    # stage 5: issue
+    # ------------------------------------------------------------------
+    def _issue(self) -> None:
+        self._issue_from(self.int_iq, self.cfg.issue_width_int)
+        self._issue_from(self.fp_iq, self.cfg.issue_width_fp)
+
+    def _issue_from(self, iq: IssueQueue, width: int) -> None:
+        deferred: list[InFlight] = []
+        issued = 0
+        while issued < width:
+            ins = iq.pop_ready()
+            if ins is None:
+                break
+            if ins.seq not in self._inflight:
+                continue  # squashed
+            op = ins.uop.op
+            if ins.uop.is_mem and not self.lsq.can_accept_address():
+                deferred.append(ins)  # §3.3: no guaranteed AddrBuffer slot
+                continue
+            pool = self.pools[fu_pool_for(op)]
+            lat = EXEC_LATENCY[op]
+            if not pool.issue(self.cycle, lat, PIPELINED[op]):
+                deferred.append(ins)
+                continue
+            ins.issued = True
+            issued += 1
+            if ins.uop.is_mem:
+                self.lsq.address_issued()
+                self._schedule(self.cycle + lat, "agu", ins)
+            else:
+                self._schedule(self.cycle + lat, "exec", ins)
+        for ins in deferred:
+            iq.push_back(ins)
+
+    # ------------------------------------------------------------------
+    # stage 6: dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self) -> None:
+        for _ in range(self.cfg.decode_width):
+            if len(self.fetch_queue) == 0 or self.rob.is_full():
+                return
+            uop = self.fetch_queue.peek()
+            iq = self.fp_iq if uop.op in FP_CLASSES else self.int_iq
+            if iq.is_full():
+                return
+            if not self._acquire_reg(uop):
+                return
+            ins = InFlight(uop)
+            if uop.is_mem and not self.lsq.dispatch(ins):
+                self._release_reg(ins)
+                return
+            self.fetch_queue.popleft()
+            self._inflight[uop.seq] = ins
+            self.rob.push(ins)
+            self._resolve_deps(ins)
+            iq.insert(ins)
+            if uop.is_store:
+                ins.disamb_resolved = False
+                self._unresolved_stores.append(ins)
+
+    def _acquire_reg(self, uop: UOp) -> bool:
+        op = uop.op
+        if op in FP_CLASSES:
+            if self._fp_regs_used >= self.cfg.fp_regs:
+                return False
+            self._fp_regs_used += 1
+        elif op is OpClass.LOAD or op in (OpClass.INT_ALU, OpClass.INT_MULT, OpClass.INT_DIV):
+            if self._int_regs_used >= self.cfg.int_regs:
+                return False
+            self._int_regs_used += 1
+        return True
+
+    @staticmethod
+    def _produces_value(ins: InFlight) -> bool:
+        return ins.uop.op not in (OpClass.STORE, OpClass.BRANCH)
+
+    def _resolve_deps(self, ins: InFlight) -> None:
+        u = ins.uop
+        if u.src1:
+            pseq = u.seq - u.src1
+            prod = self._inflight.get(pseq)
+            if prod is not None and not prod.done and self._produces_value(prod):
+                ins.src1_seq = pseq
+                ins.deps_left += 1
+                self._waiters.setdefault(pseq, []).append(ins)
+        if u.src2:
+            pseq = u.seq - u.src2
+            prod = self._inflight.get(pseq)
+            if prod is not None and not prod.done and self._produces_value(prod):
+                if u.is_store:
+                    # store data operand: does not gate address generation
+                    ins.src2_seq = pseq
+                    self._data_waiters.setdefault(pseq, []).append(ins)
+                    return
+                ins.src2_seq = pseq
+                ins.deps_left += 1
+                self._waiters.setdefault(pseq, []).append(ins)
+        if u.is_store:
+            ins.store_data_ready = True
+
+    # ------------------------------------------------------------------
+    # stage 7: fetch
+    # ------------------------------------------------------------------
+    def _fetch(self) -> None:
+        if self._fetch_stall_seq is not None or self.cycle < self._fetch_block_until:
+            return
+        for _ in range(self.cfg.fetch_width):
+            if self.fetch_queue.is_full():
+                return
+            uop = self._next_uop()
+            if uop is None:
+                return
+            iline = uop.pc >> self.mem.l1i.line_shift
+            if iline != self._last_iline:
+                self._last_iline = iline
+                lat = self.mem.iaccess(uop.pc)
+                if lat > self.cfg.mem.l1i_latency:
+                    self._fetch_block_until = self.cycle + lat
+                    self.fetch_queue.append(uop)
+                    if uop.is_branch:
+                        self._predict(uop)
+                    return
+            self.fetch_queue.append(uop)
+            if uop.is_branch:
+                if self._predict(uop):
+                    return  # mispredict: stall until resolution
+                if uop.taken:
+                    self._last_iline = -1
+                    return  # taken-branch fetch break
+
+    def _predict(self, uop: UOp) -> bool:
+        """Returns True when fetch must stall (misprediction/misfetch)."""
+        pred_taken = self.predictor.predict(uop.pc)
+        target = self.btb.lookup(uop.pc) if pred_taken else None
+        mispredict = pred_taken != uop.taken or (
+            uop.taken and (target is None or target != uop.target)
+        )
+        if mispredict:
+            self.predictor.mispredicts.add()
+            self._fetch_stall_seq = uop.seq
+            self._last_iline = -1
+        return mispredict
+
+    # ------------------------------------------------------------------
+    # flush (deadlock avoidance, §3.3)
+    # ------------------------------------------------------------------
+    def _flush(self, reason: str) -> None:
+        head = self.rob.head()
+        restart_seq = head.seq if head is not None else self._fetch_seq
+        self.rob.clear()
+        self._inflight.clear()
+        self._waiters.clear()
+        self._data_waiters.clear()
+        self._pending_loads.clear()
+        self._unresolved_stores.clear()
+        self._events.clear()
+        self.int_iq.clear()
+        self.fp_iq.clear()
+        for pool in self.pools.values():
+            pool.flush()
+        self.fetch_queue.clear()
+        self.lsq.flush()
+        self._fetch_stall_seq = None
+        self._fetch_seq = restart_seq
+        self._last_iline = -1
+        self._int_regs_used = 0
+        self._fp_regs_used = 0
+        self._flush_requested = False
+        self._last_commit_cycle = self.cycle
+        if reason == "deadlock":
+            self.deadlock_flushes += 1
+            self.lsq.stats.deadlock_flushes += 1
+        elif reason == "overflow":
+            self.overflow_flushes += 1
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance the machine by one cycle."""
+        self.mem.new_cycle()
+        for pool in self.pools.values():
+            pool.new_cycle(self.cycle)
+        self.lsq.begin_cycle(self.cycle)
+        self._complete()
+        if self._flush_requested:
+            self._flush(reason="overflow")
+        elif (
+            self._inflight
+            and self.cycle - self._last_commit_cycle > self.cfg.commit_watchdog
+        ):
+            # deadlock-avoidance backstop (paper §3.3): the window cannot
+            # drain; squash and refetch from the head
+            self._flush(reason="deadlock")
+        else:
+            self._commit()
+        self._memory_issue()
+        self._issue()
+        self._dispatch()
+        self._fetch()
+        self._sample()
+        self.cycle += 1
+
+    def _sample(self) -> None:
+        for comp, area in self.lsq.area_breakdown().items():
+            self.area.record(comp, area)
+        self.area.end_cycle()
+        if self.cfg.sample_occupancy and hasattr(self.lsq, "shared_in_use"):
+            self.shared_occ_hist.add(self.lsq.shared_in_use())
+            if self.lsq.addr_buffer_len():
+                self.addr_buffer_busy_cycles += 1
+
+    def reset_stats(self) -> None:
+        """Zero all measurement state, keeping architectural state warm.
+
+        Mirrors the paper's methodology: caches/predictors are warmed up
+        before measurement starts.
+        """
+        self._stat_cycle0 = self.cycle
+        self._stat_committed0 = self.committed
+        self.lsq.energy.reset()
+        self.lsq.stats = type(self.lsq.stats)()
+        self.cache_energy.reset()
+        self.area.reset()
+        self.shared_occ_hist = Histogram(max_value=512)
+        self.addr_buffer_busy_cycles = 0
+        self.deadlock_flushes = 0
+        self.overflow_flushes = 0
+        self.predictor.lookups.reset()
+        self.predictor.mispredicts.reset()
+        self.btb.hits.reset()
+        self.btb.misses.reset()
+        for cache in (self.mem.l1i, self.mem.l1d, self.mem.l2):
+            cache.stats.__init__()
+        for tlb in (self.mem.itlb, self.mem.dtlb):
+            tlb.hits.reset()
+            tlb.misses.reset()
+        self.data_violations.clear()
+
+    def run(
+        self,
+        max_instructions: int,
+        max_cycles: int | None = None,
+        warmup: int = 0,
+    ) -> SimResult:
+        """Run until ``max_instructions`` commit (or the trace/cycles end).
+
+        ``warmup`` instructions are executed first with statistics
+        discarded (caches, TLBs and predictors stay warm), mirroring the
+        paper's 100M-instruction warm-up phase.
+        """
+        if self._trace is None:
+            raise RuntimeError("attach_trace() first")
+        if warmup:
+            self._run_until(self.committed + warmup, warmup * 100)
+            self.reset_stats()
+        limit = max_cycles if max_cycles is not None else max_instructions * 100
+        self._run_until(self.committed + max_instructions, self.cycle + limit)
+        return self.result()
+
+    def _run_until(self, target_committed: int, cycle_limit: int) -> None:
+        while self.committed < target_committed and self.cycle < cycle_limit:
+            if self._trace_exhausted and not self._inflight and not len(self.fetch_queue):
+                break
+            self.step()
+
+    def result(self) -> SimResult:
+        """Snapshot the run statistics."""
+        l1d = self.mem.l1d.stats
+        dtlb = self.mem.dtlb
+        dtlb_total = dtlb.hits.value + dtlb.misses.value
+        stats = self.lsq.stats
+        cycles = self.cycle - self._stat_cycle0
+        return SimResult(
+            instructions=self.committed - self._stat_committed0,
+            cycles=cycles,
+            lsq_name=self.lsq.name,
+            lsq_energy_pj=self.lsq.energy.as_dict(),
+            cache_energy_pj=self.cache_energy.as_dict(),
+            area_um2_cycles=self.area.as_dict(),
+            deadlock_flushes=self.deadlock_flushes,
+            mispredict_rate=self.predictor.mispredict_rate,
+            l1d_miss_rate=l1d.miss_rate,
+            dtlb_miss_rate=dtlb.misses.value / dtlb_total if dtlb_total else 0.0,
+            lsq_stats=vars(stats).copy() if hasattr(stats, "__dict__") else {
+                k: getattr(stats, k) for k in stats.__dataclass_fields__
+            },
+            shared_occupancy_mean=self.shared_occ_hist.mean,
+            shared_occupancy_p99=self.shared_occ_hist.quantile(0.99),
+            addr_buffer_busy_frac=(
+                self.addr_buffer_busy_cycles / cycles if cycles else 0.0
+            ),
+            data_violations=len(self.data_violations),
+        )

@@ -1,0 +1,56 @@
+"""Reorder buffer: bounded, age-ordered window of in-flight instructions.
+
+The paper extends each ROB entry with a ``readyBit`` (memory
+disambiguation) and a ``whereLSQ`` field (location of the instruction in
+the LSQ).  In this model those live on :class:`~repro.core.inflight.
+InFlight` (``disamb_resolved`` plays the readyBit role for stores and
+``placement`` is whereLSQ); the ROB provides ordering, capacity and the
+head used for in-order commit and deadlock detection.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.common.queues import RingBuffer
+from repro.core.inflight import InFlight
+
+
+class ReorderBuffer:
+    """Bounded in-order window."""
+
+    __slots__ = ("_ring",)
+
+    def __init__(self, entries: int = 256):
+        self._ring: RingBuffer[InFlight] = RingBuffer(entries)
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of in-flight instructions."""
+        return self._ring.capacity
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def is_full(self) -> bool:
+        """True when dispatch must stall."""
+        return self._ring.is_full()
+
+    def push(self, ins: InFlight) -> None:
+        """Append at the tail (dispatch, program order)."""
+        self._ring.append(ins)
+
+    def head(self) -> InFlight | None:
+        """Oldest in-flight instruction, or None when empty."""
+        return self._ring.peek() if len(self._ring) else None
+
+    def pop_head(self) -> InFlight:
+        """Remove the oldest instruction (commit)."""
+        return self._ring.popleft()
+
+    def clear(self) -> None:
+        """Squash the window (pipeline flush)."""
+        self._ring.clear()
+
+    def __iter__(self) -> Iterator[InFlight]:
+        return iter(self._ring)

@@ -1,0 +1,289 @@
+"""CACTI-3.0-style analytical timing model (0.10 um).
+
+The paper derives all delays from CACTI 3.0 [Shivakumar & Jouppi, 2001].
+CACTI decomposes an access into RC stages -- address decoder, wordline,
+bitline, sense amplifier, tag comparator, way-select multiplexor, output
+driver -- and searches over internal array organisations (wordline/bitline
+splits) for the fastest one.  This module reimplements that decomposition
+with per-stage linear RC coefficients calibrated (``repro/energy/
+calibration.py``, scipy least squares) against every delay the paper
+publishes: the eight Table 1 cache configurations (conventional and
+known-way access times) and the five §3.6 structure delays.
+
+Delay model summary (all times in ns):
+
+* RAM path:   decode(rows) + wordline(cols) + bitline(rows) + sense + drive
+* CAM search: searchline(bits) + matchline(entries) + match sense
+* cache:      max(data path, tag path + compare) + way mux + H-tree,
+              minimised over wordline/bitline splits (Ndwl, Ndbl)
+* known-way:  data path of a single way, no tag compare (paper Table 1)
+
+Multi-porting grows cell pitch, lengthening word/bit lines; this is the
+``port_factor`` term.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class CactiParams:
+    """Per-stage RC coefficients (ns) at 0.10 um.
+
+    Values produced by ``repro.energy.calibration.fit()`` against the
+    paper's published numbers; see that module for the fitting procedure.
+    """
+
+    dec_base: float = 0.012618697
+    dec_per_log_row: float = 0.022737044
+    word_per_col: float = 0.00046153063
+    bit_per_row: float = 0.00069253655
+    sense: float = 0.010385281
+    cmp_base: float = 0.0667254
+    cmp_per_bit: float = 0.00331043
+    mux_base: float = 1.3321265e-05
+    mux_per_way: float = 0.040351296
+    htree_per_level: float = 0.30659016
+    port_growth: float = 0.4353272
+    out_drive: float = 0.011246061
+    cam_base: float = 0.0880324
+    cam_per_bit: float = 0.0076312414
+    cam_per_log_entry: float = 0.019711388
+    cam_per_entry: float = 0.00029312576
+    sel_base: float = 0.02
+    sel_per_way: float = 0.01
+    bus_base: float = 0.0139987
+    bus_per_row: float = 0.00085938515
+    # energy coefficients (pJ), loosely calibrated to the paper's 1009 /
+    # 276 / 273 pJ cache & DTLB reference points
+    e_dec_base: float = 40.0
+    e_per_bitline: float = 7.83
+    e_cmp_per_bit: float = 0.2275
+    e_sense_per_col: float = 0.38
+
+
+#: Module-wide default parameter set (calibrated).
+DEFAULT_PARAMS = CactiParams()
+
+
+def _port_factor(ports: int, p: CactiParams) -> float:
+    return 1.0 + p.port_growth * (ports - 1)
+
+
+def ram_access_time(
+    rows: int, bits: int, ports: int = 1, p: CactiParams = DEFAULT_PARAMS
+) -> float:
+    """Access time (ns) of a RAM array of ``rows`` x ``bits``."""
+    if rows < 1 or bits < 1:
+        raise ValueError("rows and bits must be >= 1")
+    pf = _port_factor(ports, p)
+    t = p.dec_base + p.dec_per_log_row * math.log2(max(rows, 2))
+    t += p.word_per_col * bits * pf
+    t += p.bit_per_row * rows * pf
+    t += p.sense + p.out_drive
+    return t
+
+
+def cam_search_time(
+    entries: int, bits: int, ports: int = 1, p: CactiParams = DEFAULT_PARAMS
+) -> float:
+    """Associative-search time (ns) of a CAM with ``entries`` x ``bits``."""
+    if entries < 1 or bits < 1:
+        raise ValueError("entries and bits must be >= 1")
+    pf = _port_factor(ports, p)
+    t = p.cam_base + p.cam_per_bit * bits * pf
+    t += p.cam_per_log_entry * math.log2(max(entries, 2))
+    t += p.cam_per_entry * entries * pf
+    return t
+
+
+def bus_time(rows_equivalent: int, p: CactiParams = DEFAULT_PARAMS) -> float:
+    """Delay (ns) of the distribution bus spanning ``rows_equivalent`` rows.
+
+    The paper models the extra wire to reach a DistribLSQ bank as the
+    word/bitline delay of a 128-entry structure of the same total capacity.
+    """
+    return p.bus_base + p.bus_per_row * rows_equivalent
+
+
+@dataclass(frozen=True)
+class CacheOrg:
+    """A concrete cache array organisation chosen by the search."""
+
+    ndwl: int
+    ndbl: int
+    data_path: float
+    tag_path: float
+    total: float
+
+
+_SPLITS = (1, 2, 4, 8)
+
+
+def _cache_paths(
+    size: int,
+    assoc: int,
+    line: int,
+    ports: int,
+    ndwl: int,
+    ndbl: int,
+    p: CactiParams,
+    addr_bits: int = 32,
+) -> CacheOrg:
+    sets = size // (assoc * line)
+    rows = max(1, sets // ndbl)
+    data_cols = line * 8 * assoc // ndwl
+    tag_bits = addr_bits - int(math.log2(sets)) - int(math.log2(line))
+    tag_cols = max(1, tag_bits * assoc // ndwl)
+    pf = _port_factor(ports, p)
+    levels = int(math.log2(ndwl * ndbl)) if ndwl * ndbl > 1 else 0
+
+    data = (
+        p.dec_base
+        + p.dec_per_log_row * math.log2(max(rows, 2))
+        + p.word_per_col * data_cols * pf
+        + p.bit_per_row * rows * pf
+        + p.sense
+    )
+    tag = (
+        p.dec_base
+        + p.dec_per_log_row * math.log2(max(rows, 2))
+        + p.word_per_col * tag_cols * pf
+        + p.bit_per_row * rows * pf
+        + p.sense
+        + p.cmp_base
+        + p.cmp_per_bit * tag_bits
+        + p.sel_base
+        + p.sel_per_way * assoc  # comparator output drives the way-select lines
+    )
+    total = (
+        max(data, tag)
+        + p.mux_base
+        + p.mux_per_way * assoc
+        + p.htree_per_level * levels
+        + p.out_drive
+    )
+    return CacheOrg(ndwl, ndbl, data, tag, total)
+
+
+def cache_access_time(
+    size: int,
+    assoc: int,
+    line: int = 32,
+    ports: int = 1,
+    way_known: bool = False,
+    p: CactiParams = DEFAULT_PARAMS,
+) -> float:
+    """Cache access time (ns) on the organisation chosen for the cache.
+
+    The organisation (Ndwl, Ndbl split) is the one that minimises the
+    *conventional* access time -- the cache is built once and the SAMIE
+    fast path reuses it.  ``way_known=True`` models that fast path (paper
+    Table 1): the data array is read as usual (the wordline still spans all
+    ways) but the tag array, the comparison and the way-select dependence
+    are skipped, so the access time is the data path plus a preset output
+    mux.  This is why the paper's conventional/known gap shrinks as
+    associativity and porting grow: the data path progressively dominates.
+    """
+    org = cache_best_org(size, assoc, line, ports, p)
+    if not way_known:
+        return org.total
+    levels = int(math.log2(org.ndwl * org.ndbl)) if org.ndwl * org.ndbl > 1 else 0
+    t = (
+        org.data_path
+        + p.mux_base
+        + p.mux_per_way  # single preset way
+        + p.htree_per_level * levels
+        + p.out_drive
+    )
+    return min(t, org.total)
+
+
+def cache_best_org(
+    size: int,
+    assoc: int,
+    line: int = 32,
+    ports: int = 1,
+    p: CactiParams = DEFAULT_PARAMS,
+) -> CacheOrg:
+    """Return the fastest conventional organisation (for inspection)."""
+    best: CacheOrg | None = None
+    for ndwl in _SPLITS:
+        if line * 8 * assoc % ndwl:
+            continue
+        for ndbl in _SPLITS:
+            sets = size // (assoc * line)
+            if sets % ndbl:
+                continue
+            org = _cache_paths(size, assoc, line, ports, ndwl, ndbl, p)
+            if best is None or org.total < best.total:
+                best = org
+    assert best is not None
+    return best
+
+
+# --------------------------------------------------------------------------
+# Energy (pJ). Used for ablations on non-published geometries; the paper's
+# published per-event energies in ``tables.py`` drive the main experiments.
+def cache_access_energy(
+    size: int,
+    assoc: int,
+    line: int = 32,
+    ports: int = 1,
+    way_known: bool = False,
+    p: CactiParams = DEFAULT_PARAMS,
+) -> float:
+    """Approximate dynamic energy (pJ) of one cache access."""
+    sets = size // (assoc * line)
+    ways_read = 1 if way_known else assoc
+    cols = line * 8 * ways_read
+    pf = _port_factor(ports, p)
+    e = p.e_dec_base
+    e += p.e_per_bitline * sets * pf * 0.02 * ways_read  # precharge subset
+    e += p.e_sense_per_col * cols * pf
+    if not way_known:
+        tag_bits = 32 - int(math.log2(sets)) - int(math.log2(line))
+        e += p.e_cmp_per_bit * tag_bits * assoc * pf
+    return e
+
+
+def fa_search_energy(entries: int, bits: int, p: CactiParams = DEFAULT_PARAMS) -> float:
+    """Approximate dynamic energy (pJ) of a fully-associative search."""
+    return p.e_dec_base + p.e_cmp_per_bit * bits * entries * 0.4
+
+
+class CactiModel:
+    """Convenience facade bundling the calibrated model and paper targets."""
+
+    def __init__(self, params: CactiParams = DEFAULT_PARAMS):
+        self.params = params
+
+    def cache_access_time(self, size: int, assoc: int, line: int = 32, ports: int = 1, way_known: bool = False) -> float:
+        """See :func:`cache_access_time`."""
+        return cache_access_time(size, assoc, line, ports, way_known, self.params)
+
+    def conventional_lsq_delay(self, entries: int = 128, addr_bits: int = 32, ports: int = 4) -> float:
+        """Associative search delay of a conventional LSQ."""
+        return cam_search_time(entries, addr_bits, ports, self.params)
+
+    def distrib_bank_delay(self, entries_per_bank: int = 2, addr_bits: int = 27, ports: int = 4) -> float:
+        """Compare delay inside one DistribLSQ bank."""
+        return cam_search_time(entries_per_bank, addr_bits, ports, self.params)
+
+    def distrib_bus_delay(self, equivalent_rows: int = 128) -> float:
+        """Delay of sending an address across the DistribLSQ bus."""
+        return bus_time(equivalent_rows, self.params)
+
+    def distrib_total_delay(self) -> float:
+        """Bus + bank compare: the DistribLSQ critical path (paper: 0.714)."""
+        return self.distrib_bus_delay() + self.distrib_bank_delay()
+
+    def shared_lsq_delay(self, entries: int = 8, addr_bits: int = 27, ports: int = 4) -> float:
+        """SharedLSQ associative-search delay (paper: 0.617)."""
+        return cam_search_time(entries, addr_bits, ports, self.params)
+
+    def addrbuffer_delay(self, slots: int = 64, bits: int = 44, ports: int = 4) -> float:
+        """AddrBuffer FIFO access delay (paper: 0.319)."""
+        return ram_access_time(slots, bits, ports, self.params)

@@ -1,0 +1,116 @@
+"""Calibration of the CACTI-like model against the paper's published delays.
+
+Running ``python -m repro.energy.calibration`` fits the per-stage RC
+coefficients of :mod:`repro.energy.cacti` to every delay number the paper
+publishes (Table 1 and §3.6) with scipy least squares, prints the fitted
+:class:`~repro.energy.cacti.CactiParams` and the per-target relative error.
+The fitted values are frozen into ``CactiParams`` defaults; this module
+stays in the repository so the calibration is reproducible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+from scipy.optimize import least_squares
+
+from repro.energy.cacti import (
+    CactiParams,
+    bus_time,
+    cache_access_time,
+    cam_search_time,
+    ram_access_time,
+)
+
+#: Table 1 of the paper: (size, assoc, ports, conventional_ns, way_known_ns)
+TABLE1_TARGETS: list[tuple[int, int, int, float, float]] = [
+    (8 * 1024, 2, 2, 0.865, 0.700),
+    (8 * 1024, 2, 4, 1.014, 0.875),
+    (8 * 1024, 4, 2, 1.008, 0.878),
+    (8 * 1024, 4, 4, 1.307, 1.266),
+    (32 * 1024, 2, 2, 1.195, 1.092),
+    (32 * 1024, 2, 4, 1.551, 1.490),
+    (32 * 1024, 4, 2, 1.194, 1.165),
+    (32 * 1024, 4, 4, 1.693, 1.693),
+]
+
+#: Section 3.6 structure delays: (name, target_ns)
+STRUCT_TARGETS: list[tuple[str, float]] = [
+    ("lsq128", 0.881),
+    ("lsq16", 0.881 / 1.186),  # paper: 16-entry LSQ ~4% above SAMIE's 0.714
+    ("distrib_bank", 0.590),
+    ("bus", 0.124),
+    ("shared", 0.617),
+    ("addrbuffer", 0.319),
+]
+
+_FIELDS = [f.name for f in dataclasses.fields(CactiParams) if not f.name.startswith("e_")]
+
+
+def _params_from_vector(x: np.ndarray) -> CactiParams:
+    return CactiParams(**dict(zip(_FIELDS, x)))
+
+
+def _struct_delay(name: str, p: CactiParams) -> float:
+    if name == "lsq128":
+        return cam_search_time(128, 32, 4, p)
+    if name == "lsq16":
+        return cam_search_time(16, 32, 4, p)
+    if name == "distrib_bank":
+        return cam_search_time(2, 27, 4, p)
+    if name == "bus":
+        return bus_time(128, p)
+    if name == "shared":
+        return cam_search_time(8, 27, 4, p)
+    if name == "addrbuffer":
+        return ram_access_time(64, 44, 4, p)
+    raise KeyError(name)
+
+
+def residuals(x: np.ndarray) -> np.ndarray:
+    """Relative errors against every published delay plus a weak prior."""
+    p = _params_from_vector(x)
+    res = []
+    for size, assoc, ports, conv, known in TABLE1_TARGETS:
+        res.append(cache_access_time(size, assoc, 32, ports, False, p) / conv - 1.0)
+        res.append(cache_access_time(size, assoc, 32, ports, True, p) / known - 1.0)
+    for name, target in STRUCT_TARGETS:
+        res.append(_struct_delay(name, p) / target - 1.0)
+    # weak prior keeping parameters near physically sensible magnitudes
+    x0 = np.array([getattr(CactiParams(), f) for f in _FIELDS])
+    res.extend(0.02 * (x / np.maximum(x0, 1e-9) - 1.0))
+    return np.asarray(res)
+
+
+def fit(verbose: bool = True) -> CactiParams:
+    """Least-squares fit; returns the calibrated parameter set."""
+    x0 = np.array([getattr(CactiParams(), f) for f in _FIELDS])
+    sol = least_squares(residuals, x0, bounds=(1e-6, 10.0), xtol=1e-12, ftol=1e-12)
+    p = _params_from_vector(sol.x)
+    if verbose:
+        print("fitted CactiParams(")
+        for f, v in zip(_FIELDS, sol.x):
+            print(f"    {f}={v:.6g},")
+        print(")")
+        report(p)
+    return p
+
+
+def report(p: CactiParams) -> list[tuple[str, float, float]]:
+    """Per-target (name, paper_ns, model_ns) with printing."""
+    rows: list[tuple[str, float, float]] = []
+    for size, assoc, ports, conv, known in TABLE1_TARGETS:
+        name = f"{size // 1024}KB {assoc}way {ports}p"
+        rows.append((name + " conv", conv, cache_access_time(size, assoc, 32, ports, False, p)))
+        rows.append((name + " known", known, cache_access_time(size, assoc, 32, ports, True, p)))
+    for name, target in STRUCT_TARGETS:
+        rows.append((name, target, _struct_delay(name, p)))
+    for name, paper, model in rows:
+        err = 100.0 * (model / paper - 1.0)
+        print(f"  {name:24s} paper={paper:.3f}  model={model:.3f}  err={err:+.1f}%")
+    return rows
+
+
+if __name__ == "__main__":  # pragma: no cover
+    fit()

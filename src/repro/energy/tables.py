@@ -1,0 +1,151 @@
+"""Published energy/area constants from the paper (Tables 4, 5 and 6).
+
+All dynamic energies are picojoules per event; areas are square microns per
+bit cell at the paper's 0.10 um technology node.  The constants are kept in
+plain dictionaries with names that mirror the tables so that a reader can
+diff this module against the paper line by line.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------
+# Table 4: 128-entry conventional fully-associative LSQ.
+#   "Address comparison: 452 pJ + 3.53 pJ per address compared"
+CONVENTIONAL_LSQ_ENERGY = {
+    "addr_compare_base": 452.0,
+    "addr_compare_per_addr": 3.53,
+    "addr_rw": 57.1,
+    "datum_rw": 93.2,
+}
+
+# --------------------------------------------------------------------------
+# Table 5: SAMIE-LSQ activities.
+DISTRIB_LSQ_ENERGY = {
+    "addr_compare_base": 4.33,
+    "addr_compare_per_addr": 2.17,
+    "addr_rw": 4.07,
+    "age_compare_base": 19.4,       # per entry searched
+    "age_compare_per_id": 1.21,
+    "age_rw": 1.64,
+    "datum_rw": 10.9,
+    "tlb_translation_rw": 6.02,
+    "cache_line_id_rw": 0.236,
+}
+
+SHARED_LSQ_ENERGY = {
+    "addr_compare_base": 22.7,
+    "addr_compare_per_addr": 2.83,
+    "addr_rw": 6.16,
+    "age_compare_base": 19.4,
+    "age_compare_per_id": 2.43,
+    "age_rw": 1.64,
+    "datum_rw": 10.9,
+    "tlb_translation_rw": 8.73,
+    "cache_line_id_rw": 0.342,
+}
+
+ADDR_BUFFER_ENERGY = {
+    "datum_rw": 31.6,
+    "age_rw": 15.7,
+}
+
+#: "Bus to DistribLSQ: send an address 54.4 pJ"
+BUS_ENERGY = {
+    "send_address": 54.4,
+}
+
+# --------------------------------------------------------------------------
+# Section 4.2 cache/TLB access energies (CACTI 3.0, 8KB 4-way L1D, 128-entry
+# fully-associative DTLB):
+#   full access 1009 pJ; single-way, no tag compare 276 pJ; DTLB 273 pJ.
+CACHE_ENERGY = {
+    "dcache_full_access": 1009.0,
+    "dcache_way_known_access": 276.0,
+    "dtlb_access": 273.0,
+}
+
+# --------------------------------------------------------------------------
+# Table 6: cell areas (um^2 per bit).
+AREA_CELLS = {
+    "conventional": {"addr_cam": 28.0, "datum_ram": 20.0},
+    "distrib": {
+        "addr_cam": 10.0,
+        "age_cam": 10.0,
+        "datum_ram": 6.0,
+        "tlb_ram": 6.0,
+        "line_id_ram": 6.0,
+    },
+    "shared": {
+        "addr_cam": 10.0,
+        "age_cam": 10.0,
+        "datum_ram": 6.0,
+        "tlb_ram": 6.0,
+        "line_id_ram": 6.0,
+    },
+    "addrbuffer": {"datum_ram": 20.0, "age_ram": 20.0},
+}
+
+# --------------------------------------------------------------------------
+# Field widths in bits (see DESIGN.md section 3 for the derivation).
+FIELD_BITS = {
+    "vaddr": 32,
+    "line_addr": 27,       # 32-bit address, 32-byte lines
+    "age_id": 9,           # 256-entry ROB position + 1 wrap bit
+    "datum": 64,
+    "tlb_translation": 20,  # physical page number
+    "line_id": 8,          # 8KB/32B = 256 lines
+    "slot_control": 11,    # offset(5) + size(2) + type(1) + flags(3)
+    "addrbuffer_record": 35,  # full address + type/size bits
+}
+
+
+def entry_area_conventional() -> float:
+    """Active area (um^2) of one conventional LSQ entry."""
+    cells = AREA_CELLS["conventional"]
+    return cells["addr_cam"] * FIELD_BITS["vaddr"] + cells["datum_ram"] * FIELD_BITS["datum"]
+
+
+def _entry_area_multi(kind: str) -> float:
+    cells = AREA_CELLS[kind]
+    return (
+        cells["addr_cam"] * FIELD_BITS["line_addr"]
+        + cells["tlb_ram"] * FIELD_BITS["tlb_translation"]
+        + cells["line_id_ram"] * FIELD_BITS["line_id"]
+    )
+
+
+def _slot_area_multi(kind: str) -> float:
+    cells = AREA_CELLS[kind]
+    return (
+        cells["age_cam"] * FIELD_BITS["age_id"]
+        + cells["datum_ram"] * (FIELD_BITS["datum"] + FIELD_BITS["slot_control"])
+    )
+
+
+def entry_area_distrib() -> float:
+    """Per-entry (slot-independent) active area of a DistribLSQ entry."""
+    return _entry_area_multi("distrib")
+
+
+def slot_area_distrib() -> float:
+    """Per-slot active area of a DistribLSQ entry."""
+    return _slot_area_multi("distrib")
+
+
+def entry_area_shared() -> float:
+    """Per-entry (slot-independent) active area of a SharedLSQ entry."""
+    return _entry_area_multi("shared")
+
+
+def slot_area_shared() -> float:
+    """Per-slot active area of a SharedLSQ entry."""
+    return _slot_area_multi("shared")
+
+
+def slot_area_addrbuffer() -> float:
+    """Active area of one AddrBuffer slot."""
+    cells = AREA_CELLS["addrbuffer"]
+    return (
+        cells["datum_ram"] * FIELD_BITS["addrbuffer_record"]
+        + cells["age_ram"] * FIELD_BITS["age_id"]
+    )

@@ -1,0 +1,30 @@
+"""Experiment drivers: one module per paper figure/table.
+
+Every driver exposes ``compute(...) -> FigureResult`` returning the same
+rows/series the paper reports, plus a ``main()`` for CLI use.  Runs are
+memoised per (workload, machine, scale) within the process so that the
+figure drivers sharing the same underlying simulations (Figures 5-12 all
+use one conventional-vs-SAMIE sweep) do not repeat work.
+"""
+
+from repro.experiments.runner import (
+    DEFAULT_INSTRUCTIONS,
+    DEFAULT_WARMUP,
+    REPRESENTATIVE_WORKLOADS,
+    run_one,
+    run_pair,
+    suite_pairs,
+)
+from repro.experiments.report import FigureResult, format_table, geomean
+
+__all__ = [
+    "DEFAULT_INSTRUCTIONS",
+    "DEFAULT_WARMUP",
+    "REPRESENTATIVE_WORKLOADS",
+    "run_one",
+    "run_pair",
+    "suite_pairs",
+    "FigureResult",
+    "format_table",
+    "geomean",
+]

@@ -1,0 +1,83 @@
+"""Figure 1: IPC of the ARB relative to an unbounded LSQ.
+
+Sweeps the ARB geometry 1x128 ... 128x1 (banks x addresses-per-bank) and
+the paper's "half number of addresses" variant, reporting mean IPC as a
+percentage of the unbounded-LSQ machine.  The paper's qualitative result:
+performance collapses as banking grows (64x2 loses ~28% IPC) and halving
+the addresses costs ~16% even for the fully-associative configuration.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import FigureResult
+from repro.experiments.runner import (
+    REPRESENTATIVE_WORKLOADS,
+    arb_machine,
+    run_one,
+    unbounded_lsq,
+)
+
+#: the paper's x-axis: (banks, addresses per bank)
+ARB_CONFIGS = [(1, 128), (2, 64), (4, 32), (8, 16), (16, 8), (32, 4), (64, 2), (128, 1)]
+
+
+def compute(
+    workloads: list[str] | None = None,
+    instructions: int | None = None,
+    warmup: int | None = None,
+    configs: list[tuple[int, int]] | None = None,
+) -> FigureResult:
+    """Regenerate Figure 1 (mean over ``workloads``)."""
+    names = workloads if workloads is not None else REPRESENTATIVE_WORKLOADS
+    sweep = configs if configs is not None else ARB_CONFIGS
+    ref = {
+        w: run_one(w, unbounded_lsq, "unbounded", instructions, warmup).ipc for w in names
+    }
+    rows = []
+    for banks, addrs in sweep:
+        pct = _mean_relative(names, ref, banks, addrs, instructions, warmup)
+        # the paper's "half" series halves the allowed in-flight memory
+        # instructions (for 1x128 this is "1 bank with 64 addresses")
+        half = _mean_relative(
+            names, ref, banks, max(1, addrs // 2), instructions, warmup,
+            tag="half", max_inflight=64,
+        )
+        rows.append([f"{banks}x{addrs}", 100.0 * pct, 100.0 * half])
+    summary = {
+        "pct_64x2": rows[sweep.index((64, 2))][1] if (64, 2) in sweep else 0.0,
+        "paper_pct_64x2": 72.0,
+        "pct_half_1x128": rows[0][2],
+        "paper_pct_half_1x128": 84.0,
+    }
+    return FigureResult(
+        figure_id="figure1",
+        title="ARB IPC relative to unbounded LSQ (banks x addresses)",
+        columns=["config", "ipc_pct", "ipc_pct_half_addresses"],
+        rows=rows,
+        summary=summary,
+        notes=f"mean over {len(names)} workloads",
+    )
+
+
+def _mean_relative(
+    names, ref, banks, addrs, instructions, warmup, tag="", max_inflight=128
+) -> float:
+    total = 0.0
+    for w in names:
+        res = run_one(
+            w,
+            arb_machine(banks, addrs, max_inflight),
+            f"arb{tag}-{banks}x{addrs}",
+            instructions,
+            warmup,
+        )
+        total += res.ipc / ref[w] if ref[w] else 0.0
+    return total / len(names)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(compute().to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

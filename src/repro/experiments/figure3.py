@@ -1,0 +1,64 @@
+"""Figure 3: mean occupancy of an unbounded SharedLSQ per benchmark.
+
+Runs SAMIE with ``shared_entries=None`` for the three DistribLSQ
+geometries the paper compares (128x1, 64x2, 32x4) and reports the mean
+number of SharedLSQ entries in use per cycle.  The paper's findings: 128x1
+needs a large SharedLSQ for many programs; 64x2 is only slightly worse
+than 32x4, motivating the 64x2 choice.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import FigureResult
+from repro.experiments.runner import run_one, samie_unbounded_shared
+from repro.workloads.spec2000 import SPEC2000_PROFILES
+
+#: DistribLSQ geometries compared in the paper (banks, entries/bank)
+GEOMETRIES = [(128, 1), (64, 2), (32, 4)]
+
+
+def compute(
+    workloads: list[str] | None = None,
+    instructions: int | None = None,
+    warmup: int | None = None,
+) -> FigureResult:
+    """Regenerate Figure 3."""
+    names = workloads if workloads is not None else sorted(SPEC2000_PROFILES)
+    rows = []
+    means = {g: [] for g in GEOMETRIES}
+    for w in names:
+        row: list = [w]
+        for banks, entries in GEOMETRIES:
+            res = run_one(
+                w,
+                samie_unbounded_shared(banks, entries),
+                f"samie-unb-{banks}x{entries}",
+                instructions,
+                warmup,
+            )
+            row.append(res.shared_occupancy_mean)
+            means[(banks, entries)].append(res.shared_occupancy_mean)
+        rows.append(row)
+    avg = ["SPEC"] + [sum(means[g]) / len(means[g]) for g in GEOMETRIES]
+    rows.append(avg)
+    summary = {
+        "mean_128x1": avg[1],
+        "mean_64x2": avg[2],
+        "mean_32x4": avg[3],
+        "paper_note_64x2_close_to_32x4": 1.0,
+    }
+    return FigureResult(
+        figure_id="figure3",
+        title="Mean unbounded-SharedLSQ occupancy per DistribLSQ geometry",
+        columns=["bench", "128x1", "64x2", "32x4"],
+        rows=rows,
+        summary=summary,
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(compute().to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

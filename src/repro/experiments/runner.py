@@ -1,0 +1,117 @@
+"""Shared simulation runner for the experiment drivers.
+
+Results are memoised in-process keyed by (workload, machine-key, scale,
+seed): Figures 5 through 12 all consume the same conventional-vs-SAMIE
+sweep, so the suite is simulated once per session.
+
+Scale knobs: the paper simulates 100M instructions per benchmark on a
+native simulator; this pure-Python model defaults to
+``DEFAULT_INSTRUCTIONS`` per run (override with the ``REPRO_INSTR`` /
+``REPRO_WARMUP`` environment variables for higher-fidelity runs).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+from repro.core.config import ProcessorConfig
+from repro.core.pipeline import SimResult
+from repro.core.processor import build_processor
+from repro.lsq.arb import ARBConfig, ARBLSQ
+from repro.lsq.base import BaseLSQ
+from repro.lsq.conventional import ConventionalLSQ
+from repro.lsq.samie import SamieConfig, SamieLSQ
+from repro.workloads.registry import make_trace
+from repro.workloads.spec2000 import SPEC2000_PROFILES
+
+DEFAULT_INSTRUCTIONS = int(os.environ.get("REPRO_INSTR", 6000))
+DEFAULT_WARMUP = int(os.environ.get("REPRO_WARMUP", 3000))
+
+#: Subset used by the expensive ARB sweep (Figure 1) at default scale.
+REPRESENTATIVE_WORKLOADS = [
+    "ammp", "applu", "art", "bzip2", "crafty", "equake",
+    "facerec", "gcc", "mcf", "mgrid", "swim", "twolf",
+]
+
+_cache: dict[tuple, SimResult] = {}
+
+
+def clear_cache() -> None:
+    """Drop all memoised simulation results."""
+    _cache.clear()
+
+
+def run_one(
+    workload: str,
+    lsq_factory: Callable[[], BaseLSQ],
+    machine_key: str,
+    instructions: int | None = None,
+    warmup: int | None = None,
+    seed: int = 1,
+    cfg: ProcessorConfig | None = None,
+) -> SimResult:
+    """Simulate one workload on one machine, memoised by ``machine_key``."""
+    if workload not in SPEC2000_PROFILES:
+        raise KeyError(f"unknown workload {workload!r}")
+    n = instructions if instructions is not None else DEFAULT_INSTRUCTIONS
+    w = warmup if warmup is not None else DEFAULT_WARMUP
+    key = (workload, machine_key, n, w, seed)
+    if key not in _cache:
+        pipe = build_processor(lsq_factory(), cfg)
+        pipe.attach_trace(make_trace(workload, seed))
+        _cache[key] = pipe.run(n, warmup=w)
+    return _cache[key]
+
+
+# -- canonical machines ------------------------------------------------------
+def conventional_baseline() -> BaseLSQ:
+    """Paper baseline: 128-entry fully-associative LSQ."""
+    return ConventionalLSQ(capacity=128)
+
+
+def unbounded_lsq() -> BaseLSQ:
+    """Figure 1 reference machine: LSQ of unbounded size."""
+    return ConventionalLSQ(capacity=None)
+
+
+def samie_default() -> BaseLSQ:
+    """Paper Table 3 SAMIE configuration."""
+    return SamieLSQ(SamieConfig())
+
+
+def samie_unbounded_shared(banks: int = 64, entries: int = 2) -> Callable[[], BaseLSQ]:
+    """SAMIE with an unbounded SharedLSQ (sizing studies, Figures 3-4)."""
+    def factory() -> BaseLSQ:
+        return SamieLSQ(SamieConfig(banks=banks, entries_per_bank=entries, shared_entries=None))
+    return factory
+
+
+def arb_machine(banks: int, addresses: int, max_inflight: int = 128) -> Callable[[], BaseLSQ]:
+    """ARB with the given geometry (Figure 1 sweep)."""
+    def factory() -> BaseLSQ:
+        return ARBLSQ(ARBConfig(banks=banks, addresses_per_bank=addresses, max_inflight=max_inflight))
+    return factory
+
+
+def run_pair(
+    workload: str,
+    instructions: int | None = None,
+    warmup: int | None = None,
+    seed: int = 1,
+) -> tuple[SimResult, SimResult]:
+    """(conventional, SAMIE) results for one workload."""
+    base = run_one(workload, conventional_baseline, "conv128", instructions, warmup, seed)
+    samie = run_one(workload, samie_default, "samie", instructions, warmup, seed)
+    return base, samie
+
+
+def suite_pairs(
+    workloads: list[str] | None = None,
+    instructions: int | None = None,
+    warmup: int | None = None,
+    seed: int = 1,
+) -> dict[str, tuple[SimResult, SimResult]]:
+    """Conventional-vs-SAMIE results for a set of workloads (default all)."""
+    names = workloads if workloads is not None else sorted(SPEC2000_PROFILES)
+    return {w: run_pair(w, instructions, warmup, seed) for w in names}

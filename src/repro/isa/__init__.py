@@ -1,0 +1,27 @@
+"""Synthetic ISA: micro-op records and operation classes.
+
+The simulator is trace-driven; a workload generator produces a stream of
+:class:`~repro.isa.uop.UOp` records which carry everything the timing model
+needs (operation class, register dependences as producer distances, memory
+address/size, branch outcome).
+"""
+
+from repro.isa.opclasses import (
+    OpClass,
+    FP_CLASSES,
+    MEM_CLASSES,
+    EXEC_LATENCY,
+    PIPELINED,
+    fu_pool_for,
+)
+from repro.isa.uop import UOp
+
+__all__ = [
+    "OpClass",
+    "FP_CLASSES",
+    "MEM_CLASSES",
+    "EXEC_LATENCY",
+    "PIPELINED",
+    "fu_pool_for",
+    "UOp",
+]

@@ -1,0 +1,84 @@
+"""The dynamic micro-op record consumed by the pipeline.
+
+A ``UOp`` is one dynamic instruction in the trace.  Register dependences
+are encoded as *producer distances*: ``src1 = d`` means the operand is
+produced by the instruction ``d`` positions earlier in the dynamic stream
+(``0`` means no dependence / value already architected).  The fetch stage
+resolves distances to absolute sequence numbers against the in-flight
+window.
+"""
+
+from __future__ import annotations
+
+from repro.isa.opclasses import OpClass, MEM_CLASSES
+
+
+class UOp:
+    """One dynamic instruction.
+
+    Attributes:
+        seq: dynamic sequence number (assigned by the generator, dense).
+        pc: instruction address (synthetic; used by predictor/BTB/I-cache).
+        op: :class:`OpClass`.
+        src1, src2: producer distances (0 = none).
+        addr: effective byte address (memory ops only, else 0).
+        size: access size in bytes (memory ops only, else 0).
+        taken: branch outcome (branches only).
+        target: branch target PC (branches only).
+    """
+
+    __slots__ = ("seq", "pc", "op", "src1", "src2", "addr", "size", "taken", "target")
+
+    def __init__(
+        self,
+        seq: int,
+        pc: int,
+        op: OpClass,
+        src1: int = 0,
+        src2: int = 0,
+        addr: int = 0,
+        size: int = 0,
+        taken: bool = False,
+        target: int = 0,
+    ):
+        self.seq = seq
+        self.pc = pc
+        self.op = op
+        self.src1 = src1
+        self.src2 = src2
+        self.addr = addr
+        self.size = size
+        self.taken = taken
+        self.target = target
+
+    @property
+    def is_mem(self) -> bool:
+        """True for loads and stores."""
+        return self.op in MEM_CLASSES
+
+    @property
+    def is_load(self) -> bool:
+        """True for loads."""
+        return self.op is OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        """True for stores."""
+        return self.op is OpClass.STORE
+
+    @property
+    def is_branch(self) -> bool:
+        """True for branches."""
+        return self.op is OpClass.BRANCH
+
+    def line_addr(self, line_shift: int) -> int:
+        """Cache-line address (byte address >> line_shift)."""
+        return self.addr >> line_shift
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        extra = ""
+        if self.is_mem:
+            extra = f" addr=0x{self.addr:x} size={self.size}"
+        elif self.is_branch:
+            extra = f" taken={self.taken} target=0x{self.target:x}"
+        return f"UOp(#{self.seq} {self.op.name} pc=0x{self.pc:x}{extra})"

@@ -1,0 +1,28 @@
+"""Load/store queue models.
+
+Three designs share one interface (:class:`~repro.lsq.base.BaseLSQ`):
+
+* :class:`~repro.lsq.conventional.ConventionalLSQ` -- the paper's baseline,
+  a 128-entry fully-associative queue (also usable unbounded, for the
+  Figure 1 reference machine);
+* :class:`~repro.lsq.arb.ARBLSQ` -- Franklin & Sohi's Address Resolution
+  Buffer, reproduced for Figure 1;
+* :class:`~repro.lsq.samie.SamieLSQ` -- the paper's contribution.
+"""
+
+from repro.lsq.base import BaseLSQ, LoadRoute, RouteKind, LSQStats
+from repro.lsq.conventional import ConventionalLSQ
+from repro.lsq.arb import ARBLSQ, ARBConfig
+from repro.lsq.samie import SamieLSQ, SamieConfig
+
+__all__ = [
+    "BaseLSQ",
+    "LoadRoute",
+    "RouteKind",
+    "LSQStats",
+    "ConventionalLSQ",
+    "ARBLSQ",
+    "ARBConfig",
+    "SamieLSQ",
+    "SamieConfig",
+]

@@ -1,0 +1,175 @@
+"""Common LSQ interface shared by the conventional, ARB and SAMIE models.
+
+The pipeline drives every model through the same hooks so that an
+experiment can swap designs without touching the core.  The contract:
+
+* ``dispatch`` is called in program order when a memory instruction enters
+  the window; returning False stalls dispatch (structure full).
+* ``address_ready`` is called once the effective address is computed; the
+  model performs placement/disambiguation bookkeeping and sets
+  ``ins.disamb_resolved`` on stores once they no longer block younger
+  loads.
+* ``begin_cycle`` runs once per cycle before issue (AddrBuffer drain,
+  retry queues).
+* ``load_ready``/``route_load`` gate and route a load's memory access;
+  ``route_store_commit`` routes a store's cache write at commit.
+* ``commit``/``flush`` release resources.
+* ``record_location``/``on_l1_evict`` implement the SAMIE presentBit
+  extension (no-ops elsewhere).
+* ``active_area`` reports the power-gated active area in um^2 for the
+  current cycle (the paper's leakage proxy).
+
+Energy is charged to the model's :class:`~repro.energy.accounting.
+EnergyAccount` as events happen; the pipeline owns D-cache/DTLB energy
+because the rates depend on routing decisions made here.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.core.inflight import InFlight
+from repro.energy.accounting import EnergyAccount
+
+
+class RouteKind(Enum):
+    """How a load obtains its data."""
+
+    CACHE = "cache"
+    FORWARD = "forward"
+
+
+@dataclass
+class LoadRoute:
+    """Routing decision for one load access."""
+
+    kind: RouteKind
+    #: forwarding source (kind == FORWARD)
+    store: InFlight | None = None
+    #: D-cache access may skip the tag check / read one way (SAMIE)
+    way_known: bool = False
+    #: DTLB access may be skipped (SAMIE cached translation)
+    skip_tlb: bool = False
+
+
+@dataclass
+class StoreRoute:
+    """Routing decision for one store's cache write at commit."""
+
+    way_known: bool = False
+    skip_tlb: bool = False
+
+
+@dataclass
+class LSQStats:
+    """Event counts common to every model."""
+
+    dispatched: int = 0
+    placed: int = 0
+    placement_failures: int = 0
+    loads_forwarded: int = 0
+    loads_from_cache: int = 0
+    addr_comparisons: int = 0
+    deadlock_flushes: int = 0
+    way_known_accesses: int = 0
+    tlb_skipped_accesses: int = 0
+    full_cache_accesses: int = 0
+
+
+class BaseLSQ(ABC):
+    """Abstract load/store queue."""
+
+    name = "base"
+
+    def __init__(self):
+        self.energy = EnergyAccount()
+        self.stats = LSQStats()
+
+    # -- lifecycle ---------------------------------------------------------
+    @abstractmethod
+    def dispatch(self, ins: InFlight) -> bool:
+        """Program-order entry of a memory instruction; False stalls."""
+
+    @abstractmethod
+    def address_ready(self, ins: InFlight) -> None:
+        """Effective address computed; place/record the instruction."""
+
+    def begin_cycle(self, cycle: int) -> None:
+        """Per-cycle housekeeping before issue (default: none)."""
+
+    @abstractmethod
+    def load_ready(self, ins: InFlight) -> bool:
+        """May this load start its memory access this cycle?"""
+
+    @abstractmethod
+    def route_load(self, ins: InFlight) -> LoadRoute:
+        """Decide forward-vs-cache for a load whose ``load_ready`` is True."""
+
+    @abstractmethod
+    def route_store_commit(self, ins: InFlight) -> StoreRoute:
+        """Route the cache write of a committing store."""
+
+    @abstractmethod
+    def commit(self, ins: InFlight) -> None:
+        """Release the instruction's resources at commit."""
+
+    @abstractmethod
+    def flush(self) -> None:
+        """Squash all in-flight state (pipeline flush)."""
+
+    def store_data_arrived(self, ins: InFlight) -> None:
+        """A store's data operand became available (datum write energy)."""
+
+    def can_accept_address(self) -> bool:
+        """May another address computation be issued this cycle?
+
+        Implements the paper's §3.3 alternative to overflow flushes: an
+        address computation only executes when it is guaranteed a landing
+        spot (for SAMIE, a free AddrBuffer slot).  Default: always.
+        """
+        return True
+
+    def address_issued(self) -> None:
+        """An address computation was issued (reserve a landing spot)."""
+
+    # -- SAMIE extension hooks (no-ops by default) ---------------------------
+    def record_location(self, ins: InFlight, set_idx: int, way: int) -> None:
+        """A cache access resolved the physical line location."""
+
+    def on_l1_evict(self, set_idx: int, line_addr: int) -> None:
+        """An L1 line was replaced; clear any cached locations."""
+
+    # -- introspection -------------------------------------------------------
+    @abstractmethod
+    def head_blocked(self, ins: InFlight) -> bool:
+        """True when the ROB-head memory instruction can never be placed
+        without a flush (deadlock-avoidance trigger)."""
+
+    @abstractmethod
+    def active_area(self) -> float:
+        """Active (non-power-gated) area in um^2 this cycle."""
+
+    def area_breakdown(self) -> dict[str, float]:
+        """Active area per component (default: single bucket)."""
+        return {self.name: self.active_area()}
+
+    @abstractmethod
+    def occupancy(self) -> int:
+        """Number of memory instructions currently held."""
+
+
+def youngest_older_overlapping(
+    load: InFlight, stores: list[InFlight]
+) -> InFlight | None:
+    """Find the youngest store older than ``load`` whose bytes overlap.
+
+    ``stores`` may be in any order; ages are sequence numbers.
+    """
+    best: InFlight | None = None
+    for st in stores:
+        if st.seq < load.seq and st.addr_ready and st.overlaps(load):
+            if best is None or st.seq > best.seq:
+                best = st
+    return best

@@ -1,0 +1,145 @@
+"""Conventional fully-associative load/store queue (the paper's baseline).
+
+A single age-ordered queue of up to ``capacity`` memory instructions
+(128 in Table 2; ``capacity=None`` gives the unbounded ideal LSQ used as
+the Figure 1 reference machine).  Entries are allocated in program order at
+dispatch and released at commit.
+
+Energy accounting follows Table 4 with the paper's fairness rule (§4.2):
+when a load's address arrives it is compared only against *older stores
+with known addresses*; a store's address only against *younger loads with
+known addresses*.  Matching loads forward from the store and skip the data
+cache.
+
+Accounting convention for data movement (applied consistently to every
+model): a store's datum is written once when it arrives and read once at
+commit; a load's datum is written once when it returns (from cache or
+forwarding), and a forward additionally reads the source store's datum.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.inflight import InFlight
+from repro.energy.tables import CONVENTIONAL_LSQ_ENERGY as E
+from repro.energy.tables import entry_area_conventional
+from repro.lsq.base import BaseLSQ, LoadRoute, RouteKind, StoreRoute
+
+
+class ConventionalLSQ(BaseLSQ):
+    """Fully-associative LSQ with store-to-load forwarding."""
+
+    name = "conventional"
+
+    def __init__(self, capacity: int | None = 128, active_extra: int = 4):
+        super().__init__()
+        self.capacity = capacity
+        self.active_extra = active_extra
+        self._ents: deque[InFlight] = deque()
+        self._stores: deque[InFlight] = deque()
+        self._loads: deque[InFlight] = deque()
+        self._entry_area = entry_area_conventional()
+
+    # -- lifecycle ---------------------------------------------------------
+    def dispatch(self, ins: InFlight) -> bool:
+        if self.capacity is not None and len(self._ents) >= self.capacity:
+            return False
+        self._ents.append(ins)
+        (self._stores if ins.uop.is_store else self._loads).append(ins)
+        self.stats.dispatched += 1
+        ins.placement = self  # dispatched == placed for this design
+        return True
+
+    def address_ready(self, ins: InFlight) -> None:
+        # Address write into the CAM.
+        self.energy.charge("lsq", E["addr_rw"])
+        # Fair comparison count (paper section 4.2).
+        if ins.uop.is_load:
+            compared = sum(
+                1 for st in self._stores if st.seq < ins.seq and st.addr_ready
+            )
+        else:
+            compared = sum(
+                1 for ld in self._loads if ld.seq > ins.seq and ld.addr_ready
+            )
+            ins.disamb_resolved = True
+        self.energy.charge("lsq", E["addr_compare_base"] + E["addr_compare_per_addr"] * compared)
+        self.stats.addr_comparisons += compared
+        self.stats.placed += 1
+
+    def store_data_arrived(self, ins: InFlight) -> None:
+        """Charge the datum write when a store's value becomes available."""
+        self.energy.charge("lsq", E["datum_rw"])
+
+    # -- load scheduling -----------------------------------------------------
+    def _forward_source(self, ins: InFlight) -> InFlight | None:
+        best: InFlight | None = None
+        for st in self._stores:
+            if st.seq >= ins.seq:
+                break  # program-order deque: everything after is younger
+            if st.addr_ready and st.overlaps(ins):
+                if best is None or st.seq > best.seq:
+                    best = st
+        return best
+
+    def load_ready(self, ins: InFlight) -> bool:
+        if not ins.addr_ready or ins.mem_started:
+            return False
+        src = self._forward_source(ins)
+        if src is None:
+            ins.wait_store = None
+            return True
+        if src.contains(ins):
+            ins.wait_store = None if src.store_data_ready else src
+            return src.store_data_ready
+        # Partial overlap: wait until the store commits and drains.
+        ins.wait_store = src
+        return False
+
+    def route_load(self, ins: InFlight) -> LoadRoute:
+        src = self._forward_source(ins)
+        if src is not None and src.contains(ins) and src.store_data_ready:
+            # read the store's datum, write the load's result
+            self.energy.charge("lsq", 2 * E["datum_rw"])
+            self.stats.loads_forwarded += 1
+            return LoadRoute(RouteKind.FORWARD, store=src)
+        self.energy.charge("lsq", E["datum_rw"])  # load result write
+        self.stats.loads_from_cache += 1
+        self.stats.full_cache_accesses += 1
+        return LoadRoute(RouteKind.CACHE)
+
+    def route_store_commit(self, ins: InFlight) -> StoreRoute:
+        self.energy.charge("lsq", E["datum_rw"])  # read datum for the write
+        self.stats.full_cache_accesses += 1
+        return StoreRoute()
+
+    # -- release -------------------------------------------------------------
+    def commit(self, ins: InFlight) -> None:
+        if self._ents and self._ents[0] is ins:
+            self._ents.popleft()
+        else:  # pragma: no cover - commit is in order by construction
+            self._ents.remove(ins)
+        q = self._stores if ins.uop.is_store else self._loads
+        if q and q[0] is ins:
+            q.popleft()
+        else:  # pragma: no cover
+            q.remove(ins)
+
+    def flush(self) -> None:
+        self._ents.clear()
+        self._stores.clear()
+        self._loads.clear()
+
+    # -- introspection ---------------------------------------------------------
+    def head_blocked(self, ins: InFlight) -> bool:
+        return False  # dispatched implies placed: no deadlock possible
+
+    def active_area(self) -> float:
+        active = len(self._ents) + self.active_extra
+        if self.capacity is not None:
+            active = min(active, self.capacity)
+        return active * self._entry_area
+
+    def occupancy(self) -> int:
+        return len(self._ents)

@@ -1,0 +1,430 @@
+"""SAMIE-LSQ: set-associative multiple-instruction entry load/store queue.
+
+Implements the paper's §3 design:
+
+* **DistribLSQ** -- ``banks`` banks (direct-mapped on the cache-line
+  address), each with ``entries_per_bank`` fully-associative entries; an
+  entry holds one cache-line address plus up to ``slots_per_entry``
+  memory instructions accessing that line.
+* **SharedLSQ** -- ``shared_entries`` overflow entries with the same
+  layout (``None`` = unbounded, used for the §3.5 sizing studies).
+* **AddrBuffer** -- ``addr_buffer_slots`` FIFO for instructions that fit
+  in neither; they cannot access the cache until placed and are retried in
+  FIFO order each cycle with priority over newly computed addresses.
+
+Plus the §3.4 extensions: each entry caches the physical (set, way) of its
+line after the first access (presentBit; later accesses skip the tag check
+and read a single way) and the DTLB translation (later accesses skip the
+DTLB).  When an L1 line is evicted the presentBit of every *potentially
+affected* entry is reset without any address comparison: all entries of
+the DistribLSQ banks that can map to the evicted set and every SharedLSQ
+entry (the paper's "very simple alternative").
+
+Energy follows Table 5 exactly; see the module docstring of
+``repro.lsq.base`` for the routing contract and
+``repro.energy.leakage`` for the active-area policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.queues import BoundedFIFO
+from repro.core.inflight import InFlight
+from repro.energy.tables import (
+    ADDR_BUFFER_ENERGY as E_AB,
+    BUS_ENERGY as E_BUS,
+    DISTRIB_LSQ_ENERGY as E_D,
+    SHARED_LSQ_ENERGY as E_S,
+    entry_area_distrib,
+    entry_area_shared,
+    slot_area_addrbuffer,
+    slot_area_distrib,
+    slot_area_shared,
+)
+from repro.lsq.base import BaseLSQ, LoadRoute, RouteKind, StoreRoute, youngest_older_overlapping
+
+
+@dataclass(frozen=True)
+class SamieConfig:
+    """SAMIE-LSQ geometry (defaults = paper Table 3)."""
+
+    banks: int = 64
+    entries_per_bank: int = 2
+    slots_per_entry: int = 8
+    shared_entries: int | None = 8
+    addr_buffer_slots: int = 64
+    line_shift: int = 5  # 32-byte cache lines
+    #: L1D set count, needed for the presentBit bulk-reset mapping
+    l1d_sets: int = 64
+
+
+class SamieEntry:
+    """One multi-instruction entry (DistribLSQ or SharedLSQ)."""
+
+    __slots__ = ("line", "slots", "location", "tlb_cached", "shared")
+
+    def __init__(self, line: int, shared: bool):
+        self.line = line
+        self.slots: list[InFlight] = []
+        #: cached physical location (set, way) of the line; None = presentBit clear
+        self.location: tuple[int, int] | None = None
+        #: cached DTLB translation valid
+        self.tlb_cached = False
+        self.shared = shared
+
+
+class SamieLSQ(BaseLSQ):
+    """The paper's SAMIE-LSQ."""
+
+    name = "samie"
+
+    def __init__(self, cfg: SamieConfig | None = None):
+        super().__init__()
+        self.cfg = cfg or SamieConfig()
+        self._banks: list[list[SamieEntry]] = [[] for _ in range(self.cfg.banks)]
+        self._shared: list[SamieEntry] = []
+        self._addr_buffer: BoundedFIFO[InFlight] = BoundedFIFO(self.cfg.addr_buffer_slots)
+        #: set when an address can be placed nowhere (AddrBuffer overflow);
+        #: the pipeline must flush.
+        self.need_flush = False
+        #: AddrBuffer retry gate: re-armed by capacity-freeing events
+        self._retry_ok = True
+        #: AddrBuffer slots reserved by in-flight address computations
+        self._agu_reserved = 0
+        # cached active-area breakdown (contents change far less often
+        # than once per cycle, and the pipeline samples it every cycle)
+        self._area_cache: dict[str, float] | None = None
+        # occupancy telemetry for the sizing studies (Figures 3 and 4)
+        self.shared_occupancy_samples: list[int] = []
+        self._area_entry_d = entry_area_distrib()
+        self._area_slot_d = slot_area_distrib()
+        self._area_entry_s = entry_area_shared()
+        self._area_slot_s = slot_area_shared()
+        self._area_slot_ab = slot_area_addrbuffer()
+
+    # -- helpers -------------------------------------------------------------
+    def line_of(self, ins: InFlight) -> int:
+        """Cache-line address of a memory instruction."""
+        return ins.uop.addr >> self.cfg.line_shift
+
+    def bank_of(self, ins: InFlight) -> int:
+        """DistribLSQ bank index for a memory instruction."""
+        return self.line_of(ins) % self.cfg.banks
+
+    # -- placement -------------------------------------------------------------
+    def _charge_placement_attempt(self, bank: list[SamieEntry]) -> None:
+        """Energy of one placement attempt (paper §4.2, Table 5).
+
+        The address travels the bus to its bank and is compared against
+        every in-use entry of that bank and of the SharedLSQ, in parallel;
+        the age identifier is compared against every in-use slot of the
+        same entries to build the forwarding links.
+        """
+        self.energy.charge("bus", E_BUS["send_address"])
+        self.energy.charge(
+            "distrib", E_D["addr_compare_base"] + E_D["addr_compare_per_addr"] * len(bank)
+        )
+        self.energy.charge(
+            "shared",
+            E_S["addr_compare_base"] + E_S["addr_compare_per_addr"] * len(self._shared),
+        )
+        for entry in bank:
+            self.energy.charge(
+                "distrib",
+                E_D["age_compare_base"] + E_D["age_compare_per_id"] * len(entry.slots),
+            )
+        for entry in self._shared:
+            self.energy.charge(
+                "shared",
+                E_S["age_compare_base"] + E_S["age_compare_per_id"] * len(entry.slots),
+            )
+        self.stats.addr_comparisons += len(bank) + len(self._shared)
+
+    def _try_place(self, ins: InFlight, charge: bool = True) -> bool:
+        """Attempt DistribLSQ/SharedLSQ placement; True on success."""
+        line = self.line_of(ins)
+        bank = self._banks[self.bank_of(ins)]
+        if charge:
+            self._charge_placement_attempt(bank)
+        cfg = self.cfg
+        # 1. join a DistribLSQ entry holding the same line
+        target: SamieEntry | None = None
+        for entry in bank:
+            if entry.line == line and len(entry.slots) < cfg.slots_per_entry:
+                target = entry
+                break
+        # 2. allocate a fresh DistribLSQ entry
+        if target is None and len(bank) < cfg.entries_per_bank:
+            target = SamieEntry(line, shared=False)
+            bank.append(target)
+            self.energy.charge("distrib", E_D["addr_rw"])
+        # 3. join a SharedLSQ entry holding the same line
+        if target is None:
+            for entry in self._shared:
+                if entry.line == line and len(entry.slots) < cfg.slots_per_entry:
+                    target = entry
+                    break
+        # 4. allocate a fresh SharedLSQ entry
+        if target is None and (
+            cfg.shared_entries is None or len(self._shared) < cfg.shared_entries
+        ):
+            target = SamieEntry(line, shared=True)
+            self._shared.append(target)
+            self.energy.charge("shared", E_S["addr_rw"])
+        if target is None:
+            self.stats.placement_failures += 1
+            return False
+        target.slots.append(ins)
+        self._area_cache = None
+        ins.placement = target
+        ins.in_addr_buffer = False
+        self.energy.charge(
+            "shared" if target.shared else "distrib",
+            (E_S if target.shared else E_D)["age_rw"],
+        )
+        if ins.uop.is_store:
+            ins.disamb_resolved = True
+            if ins.store_data_ready:
+                self.energy.charge(
+                    "shared" if target.shared else "distrib",
+                    (E_S if target.shared else E_D)["datum_rw"],
+                )
+        self.stats.placed += 1
+        return True
+
+    # -- lifecycle ---------------------------------------------------------
+    def dispatch(self, ins: InFlight) -> bool:
+        self.stats.dispatched += 1
+        return True  # capacity pressure appears at placement, not dispatch
+
+    def can_accept_address(self) -> bool:
+        # §3.3: never execute an address computation that could find the
+        # AddrBuffer full -- reserve a slot per in-flight AGU.
+        return len(self._addr_buffer) + self._agu_reserved < self.cfg.addr_buffer_slots
+
+    def address_issued(self) -> None:
+        self._agu_reserved += 1
+
+    def address_ready(self, ins: InFlight) -> None:
+        if self._agu_reserved:
+            self._agu_reserved -= 1
+        if self._try_place(ins):
+            return
+        self.energy.charge("addrbuffer", E_AB["datum_rw"] + E_AB["age_rw"])
+        self._area_cache = None
+        if self._addr_buffer.try_push(ins):
+            ins.in_addr_buffer = True
+        else:
+            # nowhere to go: the paper prevents this by sizing; if it
+            # happens the pipeline must flush (§3.3)
+            self.need_flush = True
+
+    def begin_cycle(self, cycle: int) -> None:
+        # FIFO drain: AddrBuffer instructions have priority over newly
+        # computed addresses, and only the head may leave (simple FIFO).
+        # Retries are gated on capacity-freeing events (commits/flushes):
+        # LSQ slots only ever free at commit, so re-searching the banks
+        # every cycle while the head is stuck would waste energy for
+        # nothing -- the modelled hardware wakes the AddrBuffer on commit.
+        if not self._retry_ok:
+            return
+        while len(self._addr_buffer):
+            head = self._addr_buffer.peek()
+            if not self._try_place(head):
+                self._retry_ok = False
+                break
+            self.energy.charge("addrbuffer", E_AB["datum_rw"] + E_AB["age_rw"])
+            self._addr_buffer.pop()
+            self._area_cache = None
+
+    def sample_occupancy(self) -> None:
+        """Record per-cycle SharedLSQ occupancy (sizing studies)."""
+        self.shared_occupancy_samples.append(len(self._shared))
+
+    # -- load scheduling -----------------------------------------------------
+    def _matching_stores(self, ins: InFlight) -> list[InFlight]:
+        line = self.line_of(ins)
+        out: list[InFlight] = []
+        for entry in self._banks[self.bank_of(ins)]:
+            if entry.line == line:
+                out.extend(s for s in entry.slots if s.uop.is_store)
+        for entry in self._shared:
+            if entry.line == line:
+                out.extend(s for s in entry.slots if s.uop.is_store)
+        return out
+
+    def load_ready(self, ins: InFlight) -> bool:
+        if ins.placement is None or ins.mem_started:
+            return False
+        src = youngest_older_overlapping(ins, self._matching_stores(ins))
+        if src is None:
+            return True
+        if src.contains(ins):
+            return src.store_data_ready
+        return False  # partial overlap: wait for the store to commit
+
+    def route_load(self, ins: InFlight) -> LoadRoute:
+        entry: SamieEntry = ins.placement
+        tab = E_S if entry.shared else E_D
+        cat = "shared" if entry.shared else "distrib"
+        src = youngest_older_overlapping(ins, self._matching_stores(ins))
+        if src is not None and src.contains(ins) and src.store_data_ready:
+            self.energy.charge(cat, 2 * tab["datum_rw"])  # read store, write load
+            self.stats.loads_forwarded += 1
+            return LoadRoute(RouteKind.FORWARD, store=src)
+        self.energy.charge(cat, tab["datum_rw"])  # load result write
+        self.stats.loads_from_cache += 1
+        return self._cache_route(entry, tab, cat)
+
+    def _cache_route(self, entry: SamieEntry, tab: dict, cat: str) -> LoadRoute:
+        way_known = entry.location is not None
+        skip_tlb = entry.tlb_cached
+        if way_known:
+            self.energy.charge(cat, tab["cache_line_id_rw"])  # read cached location
+            self.stats.way_known_accesses += 1
+        else:
+            self.stats.full_cache_accesses += 1
+        if skip_tlb:
+            self.energy.charge(cat, tab["tlb_translation_rw"])  # read cached translation
+            self.stats.tlb_skipped_accesses += 1
+        return LoadRoute(RouteKind.CACHE, way_known=way_known, skip_tlb=skip_tlb)
+
+    def route_store_commit(self, ins: InFlight) -> StoreRoute:
+        entry: SamieEntry = ins.placement
+        tab = E_S if entry.shared else E_D
+        cat = "shared" if entry.shared else "distrib"
+        self.energy.charge(cat, tab["datum_rw"])  # read datum for the write
+        r = self._cache_route(entry, tab, cat)
+        return StoreRoute(way_known=r.way_known, skip_tlb=r.skip_tlb)
+
+    def store_data_arrived(self, ins: InFlight) -> None:
+        """Charge the datum write when a placed store's value arrives."""
+        entry: SamieEntry | None = ins.placement
+        if entry is not None:
+            tab = E_S if entry.shared else E_D
+            self.energy.charge("shared" if entry.shared else "distrib", tab["datum_rw"])
+
+    # -- SAMIE extensions ------------------------------------------------------
+    def record_location(self, ins: InFlight, set_idx: int, way: int) -> None:
+        entry: SamieEntry | None = ins.placement
+        if entry is None:
+            return
+        tab = E_S if entry.shared else E_D
+        cat = "shared" if entry.shared else "distrib"
+        if entry.location != (set_idx, way):
+            entry.location = (set_idx, way)
+            self.energy.charge(cat, tab["cache_line_id_rw"])
+        if not entry.tlb_cached:
+            entry.tlb_cached = True
+            self.energy.charge(cat, tab["tlb_translation_rw"])
+
+    def on_l1_evict(self, set_idx: int, line_addr: int) -> None:
+        # Reset without a line-address comparison (paper §3.4): every
+        # entry of the DistribLSQ banks that can hold lines mapping to the
+        # evicted set loses its presentBit.  With 64 banks and 64 L1 sets
+        # bank b holds only set-b lines, so exactly one bank is affected.
+        # SharedLSQ entries store the cached set index anyway; a narrow
+        # index equality (not the avoided full-address CAM search) selects
+        # the affected ones.
+        banks, sets = self.cfg.banks, self.cfg.l1d_sets
+        if banks >= sets:
+            affected = range(set_idx % sets, banks, sets)
+        else:
+            affected = [set_idx % banks]
+        for b in affected:
+            for entry in self._banks[b]:
+                entry.location = None
+        for entry in self._shared:
+            if entry.location is not None and entry.location[0] == set_idx:
+                entry.location = None
+
+    # -- release -------------------------------------------------------------
+    def commit(self, ins: InFlight) -> None:
+        entry: SamieEntry | None = ins.placement
+        if entry is None:  # pragma: no cover - commit requires placement
+            raise RuntimeError("committing an unplaced memory instruction")
+        entry.slots.remove(ins)
+        if not entry.slots:
+            if entry.shared:
+                self._shared.remove(entry)
+            else:
+                self._banks[self.bank_of(ins)].remove(entry)
+        self._retry_ok = True  # capacity freed: wake the AddrBuffer
+        self._area_cache = None
+
+    def flush(self) -> None:
+        for bank in self._banks:
+            bank.clear()
+        self._shared.clear()
+        self._addr_buffer.clear()
+        self.need_flush = False
+        self._retry_ok = True
+        self._agu_reserved = 0
+        self._area_cache = None
+
+    # -- introspection ---------------------------------------------------------
+    def head_blocked(self, ins: InFlight) -> bool:
+        if ins.placement is not None or not ins.addr_ready:
+            return False
+        # Priority attempt for the oldest in-flight instruction; if even
+        # that fails, only a flush can restore forward progress (§3.3).
+        was_buffered = ins.in_addr_buffer
+        if self._try_place(ins):
+            if was_buffered:
+                self._remove_from_addr_buffer(ins)
+            return False
+        return True
+
+    def _remove_from_addr_buffer(self, ins: InFlight) -> None:
+        survivors = [i for i in self._addr_buffer if i is not ins]
+        self._area_cache = None
+        self._addr_buffer.clear()
+        for i in survivors:
+            self._addr_buffer.try_push(i)
+        ins.in_addr_buffer = False
+
+    def active_area(self) -> float:
+        return sum(self.area_breakdown().values())
+
+    def area_breakdown(self) -> dict[str, float]:
+        if self._area_cache is not None:
+            return self._area_cache
+        cfg = self.cfg
+        distrib = 0.0
+        for bank in self._banks:
+            for entry in bank:
+                slots = min(len(entry.slots) + 1, cfg.slots_per_entry)
+                distrib += self._area_entry_d + slots * self._area_slot_d
+            if len(bank) < cfg.entries_per_bank:  # one powered spare entry
+                distrib += self._area_entry_d + self._area_slot_d
+        shared = 0.0
+        for entry in self._shared:
+            slots = min(len(entry.slots) + 1, cfg.slots_per_entry)
+            shared += self._area_entry_s + slots * self._area_slot_s
+        if cfg.shared_entries is None or len(self._shared) < cfg.shared_entries:
+            shared += self._area_entry_s + self._area_slot_s
+        ab_slots = min(len(self._addr_buffer) + 4, cfg.addr_buffer_slots)
+        addrbuffer = ab_slots * self._area_slot_ab
+        self._area_cache = {"distrib": distrib, "shared": shared, "addrbuffer": addrbuffer}
+        return self._area_cache
+
+    def occupancy(self) -> int:
+        n = len(self._addr_buffer)
+        for bank in self._banks:
+            n += sum(len(e.slots) for e in bank)
+        n += sum(len(e.slots) for e in self._shared)
+        return n
+
+    # telemetry helpers -----------------------------------------------------
+    def shared_in_use(self) -> int:
+        """SharedLSQ entries currently allocated."""
+        return len(self._shared)
+
+    def distrib_entries_in_use(self) -> int:
+        """DistribLSQ entries currently allocated."""
+        return sum(len(b) for b in self._banks)
+
+    def addr_buffer_len(self) -> int:
+        """Instructions currently parked in the AddrBuffer."""
+        return len(self._addr_buffer)

@@ -1,0 +1,16 @@
+"""Memory hierarchy substrate: caches, TLBs, ports, latency model."""
+
+from repro.mem.cache import Cache, CacheStats, AccessResult
+from repro.mem.tlb import TLB
+from repro.mem.ports import PortPool
+from repro.mem.hierarchy import MemoryHierarchy, MemConfig
+
+__all__ = [
+    "Cache",
+    "CacheStats",
+    "AccessResult",
+    "TLB",
+    "PortPool",
+    "MemoryHierarchy",
+    "MemConfig",
+]

@@ -1,0 +1,186 @@
+"""Set-associative cache model with LRU replacement and presentBit support.
+
+The cache is a *timing/placement* model: it tracks which line lives in
+which (set, way) and produces hit/miss outcomes plus evictions.  Data
+values are carried by the pipeline's value oracle, not by the cache.
+
+The ``presentBit`` per line supports the SAMIE-LSQ extension (paper §3.4):
+when an LSQ entry caches the physical location of a line, the line's
+presentBit is set; the eviction callback lets the LSQ clear stale cached
+locations when the line is replaced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.common.bitutils import ilog2, is_pow2
+
+
+@dataclass
+class CacheStats:
+    """Aggregate cache event counts."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses / accesses (0.0 when idle)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one cache access."""
+
+    hit: bool
+    set_index: int
+    way: int
+    #: line address evicted by this access (None if no eviction)
+    evicted_line: int | None = None
+    #: whether the evicted line was dirty (needs writeback)
+    evicted_dirty: bool = False
+
+
+class _Line:
+    __slots__ = ("tag", "valid", "dirty", "present_bit", "lru")
+
+    def __init__(self):
+        self.tag = 0
+        self.valid = False
+        self.dirty = False
+        self.present_bit = False
+        self.lru = 0
+
+
+class Cache:
+    """Set-associative, write-back, write-allocate cache with true LRU.
+
+    Addresses given to ``access``/``probe`` are *line addresses* (byte
+    address >> line_shift); the caller owns the shift so that L1 (32 B
+    lines) and L2 (64 B lines) can share one implementation.
+    """
+
+    def __init__(
+        self,
+        size_bytes: int,
+        assoc: int,
+        line_bytes: int,
+        name: str = "cache",
+        on_evict: Callable[[int, int], None] | None = None,
+    ):
+        if size_bytes % (assoc * line_bytes):
+            raise ValueError("size must be a multiple of assoc*line_bytes")
+        self.name = name
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self.line_shift = ilog2(line_bytes)
+        self.num_sets = size_bytes // (assoc * line_bytes)
+        if not is_pow2(self.num_sets):
+            raise ValueError("number of sets must be a power of two")
+        self.set_mask = self.num_sets - 1
+        self.set_bits = ilog2(self.num_sets)
+        self._sets = [[_Line() for _ in range(assoc)] for _ in range(self.num_sets)]
+        self._clock = 0
+        self.stats = CacheStats()
+        #: callback(set_index, evicted_line_addr) fired on every replacement
+        self.on_evict = on_evict
+
+    # -- address decomposition -------------------------------------------
+    def set_of(self, line_addr: int) -> int:
+        """Set index of a line address."""
+        return line_addr & self.set_mask
+
+    def tag_of(self, line_addr: int) -> int:
+        """Tag of a line address."""
+        return line_addr >> self.set_bits
+
+    # -- lookup ------------------------------------------------------------
+    def probe(self, line_addr: int) -> int | None:
+        """Return the way holding ``line_addr`` (no state change), or None."""
+        s = self._sets[self.set_of(line_addr)]
+        tag = self.tag_of(line_addr)
+        for w, line in enumerate(s):
+            if line.valid and line.tag == tag:
+                return w
+        return None
+
+    def access(self, line_addr: int, write: bool = False) -> AccessResult:
+        """Perform an access: update LRU, allocate on miss, return outcome."""
+        self._clock += 1
+        self.stats.accesses += 1
+        set_idx = self.set_of(line_addr)
+        s = self._sets[set_idx]
+        tag = self.tag_of(line_addr)
+        for w, line in enumerate(s):
+            if line.valid and line.tag == tag:
+                self.stats.hits += 1
+                line.lru = self._clock
+                if write:
+                    line.dirty = True
+                return AccessResult(True, set_idx, w)
+        # miss: allocate into the LRU way
+        self.stats.misses += 1
+        victim_way = 0
+        victim = s[0]
+        for w, line in enumerate(s):
+            if not line.valid:
+                victim_way, victim = w, line
+                break
+            if line.lru < victim.lru:
+                victim_way, victim = w, line
+        evicted_line = None
+        evicted_dirty = False
+        if victim.valid:
+            self.stats.evictions += 1
+            evicted_line = (victim.tag << self.set_bits) | set_idx
+            evicted_dirty = victim.dirty
+            if evicted_dirty:
+                self.stats.writebacks += 1
+            if self.on_evict is not None:
+                self.on_evict(set_idx, evicted_line)
+        victim.tag = tag
+        victim.valid = True
+        victim.dirty = write
+        victim.present_bit = False
+        victim.lru = self._clock
+        return AccessResult(False, set_idx, victim_way, evicted_line, evicted_dirty)
+
+    # -- presentBit support (SAMIE extension) ------------------------------
+    def set_present_bit(self, set_idx: int, way: int, value: bool = True) -> None:
+        """Set/clear the presentBit of a resident line."""
+        self._sets[set_idx][way].present_bit = value
+
+    def present_bit(self, set_idx: int, way: int) -> bool:
+        """Read the presentBit of a line."""
+        return self._sets[set_idx][way].present_bit
+
+    def line_at(self, set_idx: int, way: int) -> int | None:
+        """Line address resident at (set, way), or None if invalid."""
+        line = self._sets[set_idx][way]
+        if not line.valid:
+            return None
+        return (line.tag << self.set_bits) | set_idx
+
+    def contents(self) -> set[int]:
+        """All resident line addresses (testing aid)."""
+        out: set[int] = set()
+        for set_idx, s in enumerate(self._sets):
+            for line in s:
+                if line.valid:
+                    out.add((line.tag << self.set_bits) | set_idx)
+        return out
+
+    def flush(self) -> None:
+        """Invalidate every line (does not fire eviction callbacks)."""
+        for s in self._sets:
+            for line in s:
+                line.valid = False
+                line.dirty = False
+                line.present_bit = False

@@ -1,0 +1,143 @@
+"""Trace-statistics analysis: the metrics that decide SAMIE behaviour.
+
+The SAMIE-LSQ's benefits and costs are functions of a handful of trace
+statistics: how many in-flight memory instructions share a cache line
+(entry sharing), how skewed the line→bank distribution is (SharedLSQ
+pressure), the page footprint (DTLB behaviour) and the store/load aliasing
+rate (forwarding).  This module computes them for any uop stream so
+workload authors can predict how a profile will behave before simulating
+it (see ``examples/custom_workload.py``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.isa.uop import UOp
+
+
+@dataclass
+class TraceStats:
+    """Summary statistics of a dynamic instruction stream."""
+
+    instructions: int
+    mem_ops: int
+    loads: int
+    stores: int
+    branches: int
+    #: mean accesses per distinct 32-byte line within a window
+    line_sharing: float
+    #: fraction of memory accesses hitting the 4 hottest of 64 banks
+    bank_skew_top4: float
+    #: distinct 4 KB pages touched
+    pages_touched: int
+    #: distinct 32-byte lines touched
+    lines_touched: int
+    #: fraction of loads whose line was stored to earlier in the window
+    alias_rate: float
+    #: mean taken-rate of branches
+    branch_taken_rate: float
+
+    @property
+    def mem_frac(self) -> float:
+        """Memory instructions as a fraction of all instructions."""
+        return self.mem_ops / self.instructions if self.instructions else 0.0
+
+    @property
+    def store_frac(self) -> float:
+        """Stores as a fraction of memory instructions."""
+        return self.stores / self.mem_ops if self.mem_ops else 0.0
+
+
+def analyse(
+    uops: Iterable[UOp],
+    n: int | None = None,
+    window: int = 256,
+    line_shift: int = 5,
+    banks: int = 64,
+    page_shift: int = 12,
+) -> TraceStats:
+    """Compute :class:`TraceStats` over (up to ``n``) uops.
+
+    ``window`` approximates the in-flight instruction window: line sharing
+    and store→load aliasing are measured within consecutive windows of
+    that many *memory* operations, mirroring what the LSQ can exploit.
+    """
+    mem: list[UOp] = []
+    total = loads = stores = branches = taken = 0
+    pages: set[int] = set()
+    lines: set[int] = set()
+    for uop in uops:
+        total += 1
+        if uop.is_mem:
+            mem.append(uop)
+            pages.add(uop.addr >> page_shift)
+            lines.add(uop.addr >> line_shift)
+            if uop.is_load:
+                loads += 1
+            else:
+                stores += 1
+        elif uop.is_branch:
+            branches += 1
+            taken += uop.taken
+        if n is not None and total >= n:
+            break
+
+    sharing_samples: list[float] = []
+    aliased = 0
+    alias_loads = 0
+    for i in range(0, max(0, len(mem) - window), window):
+        chunk = mem[i : i + window]
+        chunk_lines = {u.addr >> line_shift for u in chunk}
+        sharing_samples.append(len(chunk) / len(chunk_lines))
+        stored: set[int] = set()
+        for u in chunk:
+            if u.is_store:
+                stored.add(u.addr >> line_shift)
+            else:
+                alias_loads += 1
+                if (u.addr >> line_shift) in stored:
+                    aliased += 1
+
+    bank_counts = Counter((u.addr >> line_shift) % banks for u in mem)
+    top4 = sum(c for _, c in bank_counts.most_common(4)) / len(mem) if mem else 0.0
+
+    return TraceStats(
+        instructions=total,
+        mem_ops=len(mem),
+        loads=loads,
+        stores=stores,
+        branches=branches,
+        line_sharing=(sum(sharing_samples) / len(sharing_samples)) if sharing_samples else 0.0,
+        bank_skew_top4=top4,
+        pages_touched=len(pages),
+        lines_touched=len(lines),
+        alias_rate=aliased / alias_loads if alias_loads else 0.0,
+        branch_taken_rate=taken / branches if branches else 0.0,
+    )
+
+
+def analyse_workload(name: str, n: int = 10_000, seed: int = 1, **kwargs) -> TraceStats:
+    """Analyse a registered workload by name."""
+    from repro.workloads.registry import make_trace
+
+    return analyse(make_trace(name, seed), n=n, **kwargs)
+
+
+def compare_workloads(names: list[str], n: int = 10_000, seed: int = 1) -> str:
+    """Text table contrasting the SAMIE-relevant statistics of workloads."""
+    from repro.experiments.report import format_table
+
+    rows = []
+    for name in names:
+        s = analyse_workload(name, n=n, seed=seed)
+        rows.append(
+            [name, s.mem_frac, s.line_sharing, s.bank_skew_top4,
+             s.pages_touched, s.alias_rate]
+        )
+    return format_table(
+        ["bench", "mem_frac", "line_sharing", "bank_skew_top4", "pages", "alias_rate"],
+        rows,
+    )

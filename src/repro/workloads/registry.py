@@ -1,0 +1,29 @@
+"""Workload lookup and trace construction."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.isa.uop import UOp
+from repro.workloads.base import TraceBuilder, WorkloadProfile
+from repro.workloads.spec2000 import SPEC2000_PROFILES
+
+
+def list_workloads() -> list[str]:
+    """All available workload names (paper x-axis order)."""
+    return sorted(SPEC2000_PROFILES)
+
+
+def get_workload(name: str) -> WorkloadProfile:
+    """Profile by name; raises ``KeyError`` with suggestions."""
+    try:
+        return SPEC2000_PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {', '.join(list_workloads())}"
+        ) from None
+
+
+def make_trace(name: str, seed: int = 1) -> Iterator[UOp]:
+    """Endless deterministic uop stream for a named workload."""
+    return TraceBuilder(get_workload(name), seed).generate()

@@ -1,0 +1,54 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.inflight import InFlight
+from repro.isa.opclasses import OpClass
+from repro.isa.uop import UOp
+
+_seq_counter = itertools.count()
+
+
+def mk_uop(
+    op: OpClass = OpClass.INT_ALU,
+    seq: int | None = None,
+    pc: int = 0x400000,
+    addr: int = 0,
+    size: int = 8,
+    src1: int = 0,
+    src2: int = 0,
+    taken: bool = False,
+    target: int = 0,
+) -> UOp:
+    """Construct a uop with an auto-assigned sequence number."""
+    if seq is None:
+        seq = next(_seq_counter)
+    if op in (OpClass.LOAD, OpClass.STORE) and size == 0:
+        size = 8
+    return UOp(seq, pc, op, src1=src1, src2=src2, addr=addr, size=size, taken=taken, target=target)
+
+
+def mk_mem(
+    op: OpClass,
+    seq: int,
+    addr: int,
+    size: int = 8,
+    addr_ready: bool = True,
+    data_ready: bool = True,
+) -> InFlight:
+    """In-flight memory instruction in the post-AGU state (LSQ unit tests)."""
+    ins = InFlight(mk_uop(op, seq=seq, addr=addr, size=size))
+    ins.addr_ready = addr_ready
+    if op is OpClass.STORE:
+        ins.store_data_ready = data_ready
+    return ins
+
+
+@pytest.fixture
+def fresh_seq():
+    """Reset-free monotonic sequence source for a test."""
+    return itertools.count()

@@ -1,0 +1,103 @@
+"""Tests for trace analysis and the bar-chart renderer."""
+
+import pytest
+
+from repro.experiments.report import bar_chart
+from repro.isa.opclasses import OpClass
+from repro.isa.uop import UOp
+from repro.workloads.analysis import analyse, analyse_workload, compare_workloads
+
+
+def stream(kinds):
+    for seq, (op, addr) in enumerate(kinds):
+        if op in (OpClass.LOAD, OpClass.STORE):
+            yield UOp(seq, 0x400000, op, addr=addr, size=8)
+        elif op is OpClass.BRANCH:
+            yield UOp(seq, 0x400000, op, taken=bool(addr), target=4)
+        else:
+            yield UOp(seq, 0x400000, op)
+
+
+class TestAnalyse:
+    def test_counts(self):
+        ops = [(OpClass.LOAD, 0), (OpClass.STORE, 32), (OpClass.INT_ALU, 0),
+               (OpClass.BRANCH, 1), (OpClass.BRANCH, 0)]
+        s = analyse(stream(ops))
+        assert s.instructions == 5
+        assert s.mem_ops == 2 and s.loads == 1 and s.stores == 1
+        assert s.branches == 2
+        assert s.branch_taken_rate == 0.5
+        assert s.mem_frac == pytest.approx(0.4)
+        assert s.store_frac == pytest.approx(0.5)
+
+    def test_line_sharing_perfect(self):
+        # 512 loads all to the same line, window 256 -> sharing 256
+        ops = [(OpClass.LOAD, 0)] * 512
+        s = analyse(stream(ops), window=256)
+        assert s.line_sharing == pytest.approx(256.0)
+        assert s.lines_touched == 1
+
+    def test_line_sharing_none(self):
+        ops = [(OpClass.LOAD, 32 * i) for i in range(512)]
+        s = analyse(stream(ops), window=256)
+        assert s.line_sharing == pytest.approx(1.0)
+
+    def test_bank_skew(self):
+        # all accesses to bank 0 (2048-byte stride)
+        ops = [(OpClass.LOAD, 2048 * i) for i in range(512)]
+        s = analyse(stream(ops))
+        assert s.bank_skew_top4 == pytest.approx(1.0)
+
+    def test_alias_rate(self):
+        ops = []
+        for i in range(64):
+            ops.append((OpClass.STORE, 32 * i))
+            ops.append((OpClass.LOAD, 32 * i))
+        s = analyse(stream(ops), window=64)
+        assert s.alias_rate == pytest.approx(1.0)
+
+    def test_n_limit(self):
+        ops = [(OpClass.LOAD, 0)] * 100
+        s = analyse(stream(ops), n=10)
+        assert s.instructions == 10
+
+    def test_empty(self):
+        s = analyse(iter([]))
+        assert s.instructions == 0
+        assert s.mem_frac == 0.0 and s.alias_rate == 0.0
+
+
+class TestWorkloadAnalysis:
+    def test_known_contrasts(self):
+        swim = analyse_workload("swim", n=6000)
+        six = analyse_workload("sixtrack", n=6000)
+        assert swim.line_sharing > six.line_sharing
+        mcf = analyse_workload("mcf", n=6000)
+        assert mcf.pages_touched > swim.pages_touched
+
+    def test_compare_table(self):
+        txt = compare_workloads(["swim", "mcf"], n=3000)
+        assert "swim" in txt and "mcf" in txt and "line_sharing" in txt
+
+
+class TestBarChart:
+    def test_basic_render(self):
+        txt = bar_chart(["a", "bb"], [1.0, 2.0], width=10)
+        lines = txt.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("#") > lines[0].count("#")
+
+    def test_negative_values(self):
+        txt = bar_chart(["x", "y"], [-1.0, 1.0], width=10)
+        assert "#" in txt.splitlines()[0]
+
+    def test_baseline_marker(self):
+        txt = bar_chart(["x"], [50.0], width=20, baseline=100.0)
+        assert "|" in txt
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert bar_chart([], []) == ""

@@ -1,0 +1,77 @@
+"""Unit tests for repro.common.bitutils."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.bitutils import align_down, align_up, bits_for, ilog2, is_pow2, mask
+
+
+class TestIsPow2:
+    def test_powers(self):
+        for k in range(20):
+            assert is_pow2(1 << k)
+
+    def test_non_powers(self):
+        for x in (0, 3, 5, 6, 7, 9, 12, 100, -4, -1):
+            assert not is_pow2(x)
+
+
+class TestIlog2:
+    def test_exact(self):
+        assert ilog2(1) == 0
+        assert ilog2(2) == 1
+        assert ilog2(64) == 6
+        assert ilog2(1 << 20) == 20
+
+    @pytest.mark.parametrize("bad", [0, -2, 3, 6, 100])
+    def test_rejects_non_powers(self, bad):
+        with pytest.raises(ValueError):
+            ilog2(bad)
+
+    @given(st.integers(min_value=0, max_value=60))
+    def test_roundtrip(self, k):
+        assert ilog2(1 << k) == k
+
+
+class TestBitsFor:
+    def test_small(self):
+        assert bits_for(1) == 1
+        assert bits_for(2) == 1
+        assert bits_for(3) == 2
+        assert bits_for(256) == 8
+        assert bits_for(257) == 9
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            bits_for(0)
+
+    @given(st.integers(min_value=1, max_value=1 << 30))
+    def test_covers(self, n):
+        b = bits_for(n)
+        assert (1 << b) >= n
+        assert n == 1 or (1 << (b - 1)) < n
+
+
+class TestMask:
+    def test_values(self):
+        assert mask(0) == 0
+        assert mask(1) == 1
+        assert mask(8) == 0xFF
+        assert mask(32) == 0xFFFFFFFF
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+
+class TestAlign:
+    @given(st.integers(min_value=0, max_value=1 << 40), st.sampled_from([1, 2, 4, 8, 32, 4096]))
+    def test_down_le_up(self, addr, g):
+        d, u = align_down(addr, g), align_up(addr, g)
+        assert d <= addr <= u
+        assert d % g == 0 and u % g == 0
+        assert u - d in (0, g)
+
+    def test_already_aligned(self):
+        assert align_down(64, 32) == 64
+        assert align_up(64, 32) == 64

@@ -1,0 +1,140 @@
+"""Unit tests for the branch-prediction substrate."""
+
+from repro.branch.bimodal import BimodalPredictor
+from repro.branch.btb import BTB
+from repro.branch.gshare import GsharePredictor
+from repro.branch.hybrid import HybridPredictor
+
+
+class TestBimodal:
+    def test_initially_weak_not_taken(self):
+        p = BimodalPredictor(64)
+        assert not p.predict(0x400)
+
+    def test_saturates_taken(self):
+        p = BimodalPredictor(64)
+        for _ in range(4):
+            p.update(0x400, True)
+        assert p.counter(0x400) == 3
+        assert p.predict(0x400)
+        p.update(0x400, False)  # one not-taken does not flip
+        assert p.predict(0x400)
+
+    def test_saturates_not_taken(self):
+        p = BimodalPredictor(64)
+        for _ in range(5):
+            p.update(0x400, False)
+        assert p.counter(0x400) == 0
+        assert not p.predict(0x400)
+
+    def test_aliasing(self):
+        p = BimodalPredictor(16, pc_shift=2)
+        pc_a, pc_b = 0x0, 16 << 2  # same index after shift/mask
+        for _ in range(3):
+            p.update(pc_a, True)
+        assert p.predict(pc_b)  # aliased
+
+    def test_distinct_pcs_independent(self):
+        p = BimodalPredictor(1024)
+        for _ in range(3):
+            p.update(0x100, True)
+        assert not p.predict(0x200)
+
+
+class TestGshare:
+    def test_history_advances(self):
+        p = GsharePredictor(64)
+        p.update(0x400, True)
+        assert p.history & 1 == 1
+        p.update(0x400, False)
+        assert p.history & 1 == 0
+        assert (p.history >> 1) & 1 == 1  # previous outcome shifted up
+
+    def test_learns_alternating_pattern(self):
+        # T,N,T,N... is unlearnable by bimodal but trivial for gshare
+        p = GsharePredictor(256)
+        outcome = True
+        correct = 0
+        for i in range(200):
+            pred = p.predict(0x400)
+            if i >= 100:
+                correct += pred == outcome
+            p.update(0x400, outcome)
+            outcome = not outcome
+        assert correct >= 95  # near-perfect after warm-up
+
+    def test_history_masked(self):
+        p = GsharePredictor(64, history_bits=4)
+        for _ in range(100):
+            p.update(0x400, True)
+        assert p.history <= 0xF
+
+
+class TestHybrid:
+    def test_selector_prefers_better_component(self):
+        p = HybridPredictor(256, 256, 128)
+        # alternating pattern: gshare wins, selector should track it
+        outcome = True
+        correct = 0
+        for i in range(300):
+            pred = p.predict(0x400)
+            if i >= 150:
+                correct += pred == outcome
+            p.update(0x400, outcome, predicted=pred)
+            outcome = not outcome
+        assert correct >= 140
+
+    def test_biased_branch_predicted(self):
+        p = HybridPredictor()
+        for _ in range(20):
+            p.update(0x100, True)
+        assert p.predict(0x100)
+
+    def test_mispredict_rate_accounting(self):
+        p = HybridPredictor()
+        for _ in range(10):
+            pred = p.predict(0x100)
+            p.update(0x100, True, predicted=pred)
+        assert 0.0 <= p.mispredict_rate <= 1.0
+        assert p.lookups.value == 10
+
+
+class TestBTB:
+    def test_miss_then_hit(self):
+        b = BTB(64, 4)
+        assert b.lookup(0x400) is None
+        b.update(0x400, 0x999)
+        assert b.lookup(0x400) == 0x999
+
+    def test_update_overwrites(self):
+        b = BTB(64, 4)
+        b.update(0x400, 0x111)
+        b.update(0x400, 0x222)
+        assert b.lookup(0x400) == 0x222
+
+    def test_lru_eviction(self):
+        b = BTB(16, 2, pc_shift=2)  # 8 sets, 2 ways
+        sets = 8
+        # three PCs mapping to the same set: evicts the LRU
+        pcs = [ (i * sets) << 2 for i in range(3)]
+        b.update(pcs[0], 1)
+        b.update(pcs[1], 2)
+        b.lookup(pcs[0])  # refresh 0
+        b.update(pcs[2], 3)  # evicts pcs[1]
+        assert b.lookup(pcs[0]) == 1
+        assert b.lookup(pcs[1]) is None
+        assert b.lookup(pcs[2]) == 3
+
+    def test_hit_miss_counters(self):
+        b = BTB(64, 4)
+        b.lookup(0x1)
+        b.update(0x1, 0x2)
+        b.lookup(0x1)
+        assert b.misses.value == 1
+        assert b.hits.value == 1
+
+    def test_rejects_bad_geometry(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            BTB(10, 3)

@@ -1,0 +1,37 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "ammp" in out and "table1" in out
+
+    def test_run(self, capsys):
+        rc = main(["run", "gzip", "--instructions", "800", "--warmup", "200"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ipc=" in out and "lsq=samie" in out
+
+    def test_run_conventional(self, capsys):
+        rc = main(["run", "gzip", "--lsq", "conventional", "--instructions", "500", "--warmup", "100"])
+        assert rc == 0
+        assert "conventional" in capsys.readouterr().out
+
+    def test_figure_table1(self, capsys):
+        assert main(["figure", "table1"]) == 0
+        assert "Cache access time" in capsys.readouterr().out
+
+    def test_figure_unknown(self, capsys):
+        assert main(["figure", "nope"]) == 2
+
+    def test_experiments_list_complete(self):
+        assert len(EXPERIMENTS) == 12
+
+    def test_run_unknown_workload(self):
+        with pytest.raises(KeyError):
+            main(["run", "quake3"])

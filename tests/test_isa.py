@@ -1,0 +1,59 @@
+"""Unit tests for the ISA layer (uops, op classes, FU binding)."""
+
+import pytest
+
+from repro.isa.opclasses import EXEC_LATENCY, FP_CLASSES, MEM_CLASSES, PIPELINED, OpClass, fu_pool_for
+from repro.isa.uop import UOp
+
+
+class TestOpClasses:
+    def test_every_class_has_latency_and_pipelining(self):
+        for op in OpClass:
+            assert op in EXEC_LATENCY
+            assert op in PIPELINED
+
+    def test_divides_not_pipelined(self):
+        assert not PIPELINED[OpClass.INT_DIV]
+        assert not PIPELINED[OpClass.FP_DIV]
+        assert PIPELINED[OpClass.INT_MULT]
+
+    def test_paper_latencies(self):
+        # Table 2 of the paper
+        assert EXEC_LATENCY[OpClass.INT_ALU] == 1
+        assert EXEC_LATENCY[OpClass.INT_MULT] == 3
+        assert EXEC_LATENCY[OpClass.INT_DIV] == 20
+        assert EXEC_LATENCY[OpClass.FP_ALU] == 2
+        assert EXEC_LATENCY[OpClass.FP_MULT] == 4
+        assert EXEC_LATENCY[OpClass.FP_DIV] == 12
+
+    def test_fu_binding(self):
+        assert fu_pool_for(OpClass.LOAD) == "int_alu"  # AGU
+        assert fu_pool_for(OpClass.STORE) == "int_alu"
+        assert fu_pool_for(OpClass.BRANCH) == "int_alu"
+        assert fu_pool_for(OpClass.INT_DIV) == "int_mult"
+        assert fu_pool_for(OpClass.FP_MULT) == "fp_mult"
+        assert fu_pool_for(OpClass.FP_ALU) == "fp_alu"
+
+    def test_class_partitions(self):
+        assert OpClass.LOAD in MEM_CLASSES and OpClass.STORE in MEM_CLASSES
+        assert not MEM_CLASSES & FP_CLASSES
+
+
+class TestUOp:
+    def test_mem_predicates(self):
+        ld = UOp(0, 0, OpClass.LOAD, addr=0x100, size=8)
+        st = UOp(1, 0, OpClass.STORE, addr=0x100, size=8)
+        br = UOp(2, 0, OpClass.BRANCH, taken=True, target=0x40)
+        alu = UOp(3, 0, OpClass.INT_ALU)
+        assert ld.is_mem and ld.is_load and not ld.is_store
+        assert st.is_mem and st.is_store and not st.is_load
+        assert br.is_branch and not br.is_mem
+        assert not alu.is_mem and not alu.is_branch
+
+    def test_line_addr(self):
+        u = UOp(0, 0, OpClass.LOAD, addr=0x1234, size=4)
+        assert u.line_addr(5) == 0x1234 >> 5
+
+    def test_repr_smoke(self):
+        assert "LOAD" in repr(UOp(0, 0x400, OpClass.LOAD, addr=0x20, size=4))
+        assert "taken" in repr(UOp(0, 0x400, OpClass.BRANCH, taken=True, target=4))

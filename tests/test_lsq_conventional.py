@@ -1,0 +1,179 @@
+"""Unit tests for the conventional fully-associative LSQ."""
+
+import pytest
+
+from repro.isa.opclasses import OpClass
+from repro.lsq.base import RouteKind
+from repro.lsq.conventional import ConventionalLSQ
+from tests.conftest import mk_mem
+
+
+class TestCapacity:
+    def test_dispatch_until_full(self):
+        q = ConventionalLSQ(capacity=4)
+        for i in range(4):
+            assert q.dispatch(mk_mem(OpClass.LOAD, i, 0x100 + 8 * i))
+        assert not q.dispatch(mk_mem(OpClass.LOAD, 4, 0x200))
+        assert q.occupancy() == 4
+
+    def test_unbounded(self):
+        q = ConventionalLSQ(capacity=None)
+        for i in range(500):
+            assert q.dispatch(mk_mem(OpClass.LOAD, i, 8 * i))
+        assert q.occupancy() == 500
+
+    def test_commit_frees(self):
+        q = ConventionalLSQ(capacity=1)
+        a = mk_mem(OpClass.LOAD, 0, 0x10)
+        q.dispatch(a)
+        q.commit(a)
+        assert q.dispatch(mk_mem(OpClass.LOAD, 1, 0x20))
+
+    def test_flush_clears(self):
+        q = ConventionalLSQ(capacity=2)
+        q.dispatch(mk_mem(OpClass.STORE, 0, 0x10))
+        q.flush()
+        assert q.occupancy() == 0
+
+
+class TestForwarding:
+    def _pair(self, q, st_addr, st_size, ld_addr, ld_size, data_ready=True):
+        st = mk_mem(OpClass.STORE, 0, st_addr, st_size, data_ready=data_ready)
+        ld = mk_mem(OpClass.LOAD, 1, ld_addr, ld_size)
+        q.dispatch(st)
+        q.dispatch(ld)
+        q.address_ready(st)
+        q.address_ready(ld)
+        return st, ld
+
+    def test_full_containment_forwards(self):
+        q = ConventionalLSQ()
+        st, ld = self._pair(q, 0x100, 8, 0x104, 4)
+        assert q.load_ready(ld)
+        route = q.route_load(ld)
+        assert route.kind is RouteKind.FORWARD
+        assert route.store is st
+        assert q.stats.loads_forwarded == 1
+
+    def test_no_overlap_goes_to_cache(self):
+        q = ConventionalLSQ()
+        _, ld = self._pair(q, 0x100, 8, 0x200, 8)
+        assert q.load_ready(ld)
+        assert q.route_load(ld).kind is RouteKind.CACHE
+
+    def test_waits_for_store_data(self):
+        q = ConventionalLSQ()
+        st, ld = self._pair(q, 0x100, 8, 0x100, 8, data_ready=False)
+        assert not q.load_ready(ld)
+        st.store_data_ready = True
+        assert q.load_ready(ld)
+
+    def test_partial_overlap_waits_for_commit(self):
+        q = ConventionalLSQ()
+        st, ld = self._pair(q, 0x104, 4, 0x100, 8)  # store covers half the load
+        assert not q.load_ready(ld)
+        q.commit(st)  # store leaves the queue
+        assert q.load_ready(ld)
+        assert q.route_load(ld).kind is RouteKind.CACHE
+
+    def test_youngest_older_store_wins(self):
+        q = ConventionalLSQ()
+        s1 = mk_mem(OpClass.STORE, 0, 0x100, 8)
+        s2 = mk_mem(OpClass.STORE, 1, 0x100, 8)
+        ld = mk_mem(OpClass.LOAD, 2, 0x100, 8)
+        for i in (s1, s2, ld):
+            q.dispatch(i)
+            q.address_ready(i)
+        assert q.route_load(ld).store is s2
+
+    def test_younger_store_not_forwarded(self):
+        q = ConventionalLSQ()
+        ld = mk_mem(OpClass.LOAD, 0, 0x100, 8)
+        st = mk_mem(OpClass.STORE, 1, 0x100, 8)
+        q.dispatch(ld)
+        q.dispatch(st)
+        q.address_ready(ld)
+        q.address_ready(st)
+        assert q.route_load(ld).kind is RouteKind.CACHE
+
+    def test_store_without_address_blocks_nothing_here(self):
+        # global disambiguation (readyBit) is the pipeline's job; the LSQ
+        # only matches against stores with known addresses
+        q = ConventionalLSQ()
+        st = mk_mem(OpClass.STORE, 0, 0x100, 8, addr_ready=False)
+        ld = mk_mem(OpClass.LOAD, 1, 0x100, 8)
+        q.dispatch(st)
+        q.dispatch(ld)
+        q.address_ready(ld)
+        assert q.load_ready(ld)
+
+
+class TestEnergyAccounting:
+    def test_comparison_counts_fair_baseline(self):
+        q = ConventionalLSQ()
+        stores = [mk_mem(OpClass.STORE, i, 0x100 + 32 * i) for i in range(3)]
+        for s in stores:
+            q.dispatch(s)
+            q.address_ready(s)
+        ld = mk_mem(OpClass.LOAD, 10, 0x500)
+        q.dispatch(ld)
+        q.address_ready(ld)
+        # the load compared against exactly the 3 older known stores
+        assert q.stats.addr_comparisons == 3
+
+    def test_store_compares_against_younger_loads(self):
+        q = ConventionalLSQ()
+        st = mk_mem(OpClass.STORE, 5, 0x100)
+        loads = [mk_mem(OpClass.LOAD, i, 0x200 + 8 * i) for i in (6, 7)]
+        older_load = mk_mem(OpClass.LOAD, 1, 0x300)
+        q.dispatch(older_load)
+        q.dispatch(st)
+        for l in loads:
+            q.dispatch(l)
+        q.address_ready(older_load)
+        for l in loads:
+            q.address_ready(l)
+        before = q.stats.addr_comparisons
+        q.address_ready(st)
+        assert q.stats.addr_comparisons - before == 2  # only younger loads
+
+    def test_energy_charged_per_table4(self):
+        q = ConventionalLSQ()
+        st = mk_mem(OpClass.STORE, 0, 0x100)
+        q.dispatch(st)
+        q.address_ready(st)
+        # one address write + one base comparison with zero operands
+        assert q.energy.total() == pytest.approx(57.1 + 452.0)
+
+    def test_disamb_resolved_set_on_store(self):
+        q = ConventionalLSQ()
+        st = mk_mem(OpClass.STORE, 0, 0x100)
+        st.disamb_resolved = False
+        q.dispatch(st)
+        q.address_ready(st)
+        assert st.disamb_resolved
+
+
+class TestArea:
+    def test_active_area_policy(self):
+        q = ConventionalLSQ(capacity=128)
+        base = q.active_area()
+        a = mk_mem(OpClass.LOAD, 0, 0x10)
+        q.dispatch(a)
+        assert q.active_area() > base
+        # in-use + 4 extra entries
+        from repro.energy.tables import entry_area_conventional
+        assert q.active_area() == pytest.approx(5 * entry_area_conventional())
+
+    def test_active_area_capped_at_capacity(self):
+        q = ConventionalLSQ(capacity=2)
+        for i in range(2):
+            q.dispatch(mk_mem(OpClass.LOAD, i, 8 * i))
+        from repro.energy.tables import entry_area_conventional
+        assert q.active_area() == pytest.approx(2 * entry_area_conventional())
+
+    def test_head_never_blocked(self):
+        q = ConventionalLSQ()
+        a = mk_mem(OpClass.LOAD, 0, 0x10)
+        q.dispatch(a)
+        assert not q.head_blocked(a)

@@ -1,0 +1,168 @@
+"""Memory-semantics tests: the OoO pipeline must preserve in-order
+load/store semantics for every LSQ model (the data-value oracle)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ProcessorConfig
+from repro.core.processor import build_processor, run_simulation
+from repro.isa.opclasses import OpClass
+from repro.isa.uop import UOp
+from repro.lsq.samie import SamieConfig, SamieLSQ
+
+
+def cfg_checked() -> ProcessorConfig:
+    return ProcessorConfig(track_data=True)
+
+
+def st_ld_trace(distance: int = 1, same_addr: bool = True):
+    """Alternating stores/loads with controlled distance and aliasing."""
+    seq = 0
+    base = 0x30000000
+    k = 0
+    while True:
+        addr = base + (0 if same_addr else 32 * (k % 64))
+        yield UOp(seq, 0x400000 + 4 * (seq % 64), OpClass.STORE, addr=addr, size=8)
+        seq += 1
+        for _ in range(distance - 1):
+            yield UOp(seq, 0x400000 + 4 * (seq % 64), OpClass.INT_ALU)
+            seq += 1
+        yield UOp(seq, 0x400000 + 4 * (seq % 64), OpClass.LOAD, addr=addr, size=8)
+        seq += 1
+        k += 1
+
+
+LSQS = ["conventional", "unbounded", "samie", "arb"]
+
+
+class TestForwardingCorrectness:
+    @pytest.mark.parametrize("lsq", LSQS)
+    def test_store_load_same_address(self, lsq):
+        r = run_simulation(st_ld_trace(), lsq=lsq, cfg=cfg_checked(), max_instructions=2000, warmup=200)
+        assert r.data_violations == 0
+
+    @pytest.mark.parametrize("lsq", LSQS)
+    def test_store_load_disjoint(self, lsq):
+        r = run_simulation(
+            st_ld_trace(same_addr=False), lsq=lsq, cfg=cfg_checked(),
+            max_instructions=2000, warmup=200,
+        )
+        assert r.data_violations == 0
+
+    def test_forwarding_happens(self):
+        r = run_simulation(st_ld_trace(), lsq="conventional", cfg=cfg_checked(), max_instructions=2000)
+        assert r.lsq_stats["loads_forwarded"] > 100
+
+    def test_partial_overlap_correct(self):
+        def partial():
+            seq = 0
+            base = 0x30000000
+            while True:
+                yield UOp(seq, 0x400000, OpClass.STORE, addr=base, size=4)
+                seq += 1
+                yield UOp(seq, 0x400004, OpClass.LOAD, addr=base, size=8)
+                seq += 1
+
+        for lsq in LSQS:
+            r = run_simulation(partial(), lsq=lsq, cfg=cfg_checked(), max_instructions=1000)
+            assert r.data_violations == 0, lsq
+
+    def test_store_data_dependence_respected(self):
+        # store data arrives late (depends on a long-latency divide)
+        def late_data():
+            seq = 0
+            base = 0x30000000
+            while True:
+                yield UOp(seq, 0x400000, OpClass.INT_DIV)
+                seq += 1
+                yield UOp(seq, 0x400004, OpClass.STORE, addr=base, size=8, src2=1)
+                seq += 1
+                yield UOp(seq, 0x400008, OpClass.LOAD, addr=base, size=8)
+                seq += 1
+
+        for lsq in LSQS:
+            r = run_simulation(late_data(), lsq=lsq, cfg=cfg_checked(), max_instructions=600)
+            assert r.data_violations == 0, lsq
+
+
+class TestSamieSpecifics:
+    def test_way_known_accesses_happen(self):
+        r = run_simulation(st_ld_trace(), lsq="samie", cfg=cfg_checked(), max_instructions=2000)
+        assert r.lsq_stats["way_known_accesses"] > 0
+        assert r.lsq_stats["tlb_skipped_accesses"] > 0
+
+    def test_deadlock_flush_recovers_correctly(self):
+        # hammer one bank: lines spaced 64 lines apart share bank 0
+        def one_bank():
+            seq = 0
+            base = 0x30000000
+            k = 0
+            while True:
+                yield UOp(
+                    seq, 0x400000 + 4 * (seq % 64), OpClass.LOAD,
+                    addr=base + 2048 * k, size=8,
+                )
+                seq += 1
+                k = (k + 1) % 256
+        lsq = SamieLSQ(SamieConfig(shared_entries=2, addr_buffer_slots=8))
+        pipe = build_processor(lsq, cfg_checked())
+        pipe.attach_trace(one_bank())
+        r = pipe.run(1500)
+        assert r.data_violations == 0  # stays correct under extreme pressure
+        assert r.instructions >= 1500  # forward progress guaranteed
+        # throughput is capacity-bound but the machine never livelocks
+        assert r.ipc > 0.05
+
+    def test_deadlock_flush_fires_on_ammp(self):
+        # ammp is the paper's deadlock workload (Figure 6: ~250 flushes
+        # per Mcycle): its column sweeps concentrate in-flight lines onto
+        # few banks until the ROB head cannot be placed.
+        from repro.workloads.registry import make_trace
+
+        pipe = build_processor(SamieLSQ(SamieConfig()), cfg_checked())
+        pipe.attach_trace(make_trace("ammp"))
+        r = pipe.run(5000, warmup=2000)
+        assert r.deadlock_flushes > 0
+        assert r.data_violations == 0
+        assert r.instructions >= 5000  # flushes never lose instructions
+
+    def test_samie_matches_conventional_ipc_on_friendly_code(self):
+        rc = run_simulation(st_ld_trace(distance=4), lsq="conventional", max_instructions=3000, warmup=1000)
+        rs = run_simulation(st_ld_trace(distance=4), lsq="samie", max_instructions=3000, warmup=1000)
+        assert rs.ipc == pytest.approx(rc.ipc, rel=0.02)
+
+    def test_samie_beats_small_conventional_on_streaming(self):
+        def stream():
+            seq = 0
+            a = 0x50000000
+            while True:
+                yield UOp(seq, 0x400000 + 4 * (seq % 64), OpClass.LOAD, addr=a, size=8)
+                a += 8
+                seq += 1
+
+        r16 = run_simulation(stream(), lsq="conventional", capacity=16, max_instructions=2500, warmup=1000)
+        rs = run_simulation(stream(), lsq="samie", max_instructions=2500, warmup=1000)
+        assert rs.ipc > r16.ipc * 1.5  # SAMIE holds far more in-flight loads
+
+
+class TestEnergySideChannels:
+    def test_baseline_charges_full_cache_energy(self):
+        r = run_simulation(st_ld_trace(same_addr=False), lsq="conventional", max_instructions=1000, warmup=100)
+        assert r.cache_energy_pj["dcache"] > 0
+        assert r.cache_energy_pj["dtlb"] > 0
+
+    def test_samie_cheaper_cache_energy_on_sharing(self):
+        rc = run_simulation(st_ld_trace(), lsq="conventional", max_instructions=2000, warmup=500)
+        rs = run_simulation(st_ld_trace(), lsq="samie", max_instructions=2000, warmup=500)
+        per_c = rc.cache_energy_pj["dcache"] / rc.instructions
+        per_s = rs.cache_energy_pj["dcache"] / rs.instructions
+        assert per_s < per_c
+
+    def test_forwarded_loads_skip_cache_energy(self):
+        # all loads forward: the only cache traffic is store commits
+        r = run_simulation(st_ld_trace(), lsq="conventional", max_instructions=1000, warmup=100)
+        stores_committed = sum(1 for _ in range(1))  # placeholder count below
+        n_mem_events = r.cache_energy_pj["dcache"] / 1009.0
+        # roughly half the memory instructions (the stores) hit the cache
+        assert n_mem_events < 0.7 * r.instructions

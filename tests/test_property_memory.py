@@ -1,0 +1,103 @@
+"""Property-based tests: OoO execution preserves sequential memory semantics.
+
+Hypothesis generates random little programs (stores/loads/ALU/branch mix
+over a small address pool, random dependences and sizes); every LSQ model
+must produce load values identical to in-order execution, and the three
+designs must commit the same instruction stream.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.config import ProcessorConfig
+from repro.core.processor import run_simulation
+from repro.isa.opclasses import OpClass
+from repro.isa.uop import UOp
+from repro.lsq.samie import SamieConfig, SamieLSQ
+
+ADDR_POOL = [0x1000 + 8 * i for i in range(16)]  # two cache lines
+SIZES = [1, 2, 4, 8]
+
+
+@st.composite
+def programs(draw):
+    n = draw(st.integers(min_value=20, max_value=120))
+    ops = []
+    for seq in range(n):
+        kind = draw(st.sampled_from(["load", "store", "alu", "branch"]))
+        if kind in ("load", "store"):
+            size = draw(st.sampled_from(SIZES))
+            slot = draw(st.integers(min_value=0, max_value=len(ADDR_POOL) - 1))
+            addr = ADDR_POOL[slot]
+            # offset within the 8-byte word, aligned to size
+            off = draw(st.integers(min_value=0, max_value=(8 - size) // size)) * size
+            op = OpClass.LOAD if kind == "load" else OpClass.STORE
+            ops.append(
+                UOp(seq, 0x400000 + 4 * (seq % 64), op,
+                    src1=draw(st.integers(min_value=0, max_value=8)),
+                    src2=draw(st.integers(min_value=0, max_value=8)),
+                    addr=addr + off, size=size)
+            )
+        elif kind == "alu":
+            cls = draw(st.sampled_from([OpClass.INT_ALU, OpClass.INT_MULT, OpClass.FP_ALU]))
+            ops.append(UOp(seq, 0x400000 + 4 * (seq % 64), cls,
+                           src1=draw(st.integers(min_value=0, max_value=8))))
+        else:
+            taken = draw(st.booleans())
+            ops.append(UOp(seq, 0x400000 + 4 * (seq % 64), OpClass.BRANCH,
+                           taken=taken, target=0x400000 if taken else 0))
+    return ops
+
+
+def run_program(ops, lsq, **lsq_kwargs):
+    cfg = ProcessorConfig(track_data=True)
+    return run_simulation(iter(ops), lsq=lsq, cfg=cfg,
+                          max_instructions=len(ops), **lsq_kwargs)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(programs())
+def test_conventional_preserves_memory_semantics(ops):
+    r = run_program(ops, "conventional")
+    assert r.data_violations == 0
+    assert r.instructions == len(ops)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(programs())
+def test_samie_preserves_memory_semantics(ops):
+    r = run_program(ops, "samie")
+    assert r.data_violations == 0
+    assert r.instructions == len(ops)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(programs())
+def test_tiny_samie_preserves_memory_semantics(ops):
+    """Extreme pressure: 4 banks x 1 entry x 2 slots, 1 shared, 4 buffer."""
+    lsq = SamieLSQ(
+        SamieConfig(banks=4, entries_per_bank=1, slots_per_entry=2,
+                    shared_entries=1, addr_buffer_slots=4, l1d_sets=64)
+    )
+    r = run_program(ops, lsq)
+    assert r.data_violations == 0
+    assert r.instructions == len(ops)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(programs())
+def test_arb_preserves_memory_semantics(ops):
+    r = run_program(ops, "arb")
+    assert r.data_violations == 0
+    assert r.instructions == len(ops)
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(programs())
+def test_all_models_commit_same_count(ops):
+    counts = {
+        name: run_program(ops, name).instructions
+        for name in ("conventional", "unbounded", "samie")
+    }
+    assert len(set(counts.values())) == 1

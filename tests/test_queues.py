@@ -1,0 +1,118 @@
+"""Unit and property tests for repro.common.queues."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.queues import BoundedFIFO, RingBuffer
+
+
+class TestRingBuffer:
+    def test_fifo_order(self):
+        rb = RingBuffer(4)
+        for i in range(4):
+            rb.append(i)
+        assert [rb.popleft() for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_overflow_raises(self):
+        rb = RingBuffer(2)
+        rb.append(1)
+        rb.append(2)
+        with pytest.raises(OverflowError):
+            rb.append(3)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            RingBuffer(2).popleft()
+
+    def test_peek(self):
+        rb = RingBuffer(3)
+        rb.append("a")
+        rb.append("b")
+        assert rb.peek() == "a"
+        assert len(rb) == 2  # peek does not remove
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(IndexError):
+            RingBuffer(1).peek()
+
+    def test_wraparound(self):
+        rb = RingBuffer(3)
+        for i in range(3):
+            rb.append(i)
+        rb.popleft()
+        rb.append(3)
+        assert list(rb) == [1, 2, 3]
+
+    def test_clear(self):
+        rb = RingBuffer(3)
+        rb.append(1)
+        rb.clear()
+        assert len(rb) == 0
+        rb.append(2)
+        assert rb.peek() == 2
+
+    def test_getitem(self):
+        rb = RingBuffer(4)
+        for i in range(3):
+            rb.append(i * 10)
+        assert rb[0] == 0
+        assert rb[2] == 20
+        assert rb[-1] == 20
+        with pytest.raises(IndexError):
+            rb[3]
+
+    def test_free_and_full(self):
+        rb = RingBuffer(2)
+        assert rb.free == 2 and not rb.is_full()
+        rb.append(1)
+        rb.append(2)
+        assert rb.free == 0 and rb.is_full()
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            RingBuffer(0)
+
+    @settings(max_examples=50)
+    @given(st.lists(st.sampled_from(["push", "pop"]), max_size=200))
+    def test_matches_list_model(self, ops):
+        rb = RingBuffer(8)
+        model: list[int] = []
+        n = 0
+        for op in ops:
+            if op == "push" and len(model) < 8:
+                rb.append(n)
+                model.append(n)
+                n += 1
+            elif op == "pop" and model:
+                assert rb.popleft() == model.pop(0)
+            assert len(rb) == len(model)
+            assert list(rb) == model
+
+
+class TestBoundedFIFO:
+    def test_try_push_respects_capacity(self):
+        q = BoundedFIFO(2)
+        assert q.try_push(1)
+        assert q.try_push(2)
+        assert not q.try_push(3)
+        assert len(q) == 2
+
+    def test_pop_order(self):
+        q = BoundedFIFO(3)
+        for i in range(3):
+            q.try_push(i)
+        assert [q.pop() for _ in range(3)] == [0, 1, 2]
+
+    def test_peek_and_clear(self):
+        q = BoundedFIFO(2)
+        q.try_push("x")
+        assert q.peek() == "x"
+        q.clear()
+        assert len(q) == 0
+        assert not q.is_full()
+
+    def test_iteration(self):
+        q = BoundedFIFO(4)
+        for i in range(3):
+            q.try_push(i)
+        assert list(q) == [0, 1, 2]

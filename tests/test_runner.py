@@ -1,0 +1,92 @@
+"""Tests for the experiment runner machinery and calibration module."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.energy.calibration import STRUCT_TARGETS, TABLE1_TARGETS, report, residuals
+from repro.energy.cacti import DEFAULT_PARAMS
+from repro.experiments.runner import (
+    arb_machine,
+    clear_cache,
+    conventional_baseline,
+    run_one,
+    samie_default,
+    samie_unbounded_shared,
+    unbounded_lsq,
+)
+from repro.lsq.arb import ARBLSQ
+from repro.lsq.conventional import ConventionalLSQ
+from repro.lsq.samie import SamieLSQ
+
+
+class TestMachineFactories:
+    def test_baseline_is_128(self):
+        lsq = conventional_baseline()
+        assert isinstance(lsq, ConventionalLSQ)
+        assert lsq.capacity == 128
+
+    def test_unbounded(self):
+        assert unbounded_lsq().capacity is None
+
+    def test_samie_default_is_table3(self):
+        lsq = samie_default()
+        assert isinstance(lsq, SamieLSQ)
+        cfg = lsq.cfg
+        assert (cfg.banks, cfg.entries_per_bank, cfg.slots_per_entry) == (64, 2, 8)
+        assert cfg.shared_entries == 8
+        assert cfg.addr_buffer_slots == 64
+
+    def test_samie_unbounded_shared(self):
+        lsq = samie_unbounded_shared(32, 4)()
+        assert lsq.cfg.shared_entries is None
+        assert (lsq.cfg.banks, lsq.cfg.entries_per_bank) == (32, 4)
+
+    def test_arb_factory(self):
+        lsq = arb_machine(8, 16)()
+        assert isinstance(lsq, ARBLSQ)
+        assert (lsq.cfg.banks, lsq.cfg.addresses_per_bank) == (8, 16)
+
+
+class TestRunOne:
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            run_one("nonsense", conventional_baseline, "conv128", 100, 10)
+
+    def test_memoisation_key_includes_machine(self):
+        clear_cache()
+        a = run_one("gzip", conventional_baseline, "conv128", 800, 100)
+        b = run_one("gzip", samie_default, "samie", 800, 100)
+        assert a is not b
+        assert a is run_one("gzip", conventional_baseline, "conv128", 800, 100)
+        clear_cache()
+        c = run_one("gzip", conventional_baseline, "conv128", 800, 100)
+        assert c is not a
+
+
+class TestCalibration:
+    def test_residuals_shape(self):
+        import numpy as np
+        import dataclasses
+
+        fields = [f.name for f in dataclasses.fields(DEFAULT_PARAMS) if not f.name.startswith("e_")]
+        x0 = np.array([getattr(DEFAULT_PARAMS, f) for f in fields])
+        res = residuals(x0)
+        # 2 per Table 1 row + structure targets + one prior term per param
+        assert len(res) == 2 * len(TABLE1_TARGETS) + len(STRUCT_TARGETS) + len(fields)
+
+    def test_frozen_params_fit_targets(self):
+        import numpy as np
+        import dataclasses
+
+        fields = [f.name for f in dataclasses.fields(DEFAULT_PARAMS) if not f.name.startswith("e_")]
+        x0 = np.array([getattr(DEFAULT_PARAMS, f) for f in fields])
+        res = residuals(x0)[: 2 * len(TABLE1_TARGETS) + len(STRUCT_TARGETS)]
+        assert max(abs(r) for r in res) < 0.20  # every target within 20%
+
+    def test_report_rows(self, capsys):
+        rows = report(DEFAULT_PARAMS)
+        capsys.readouterr()
+        assert len(rows) == 2 * len(TABLE1_TARGETS) + len(STRUCT_TARGETS)
+        for _, paper, model in rows:
+            assert paper > 0 and model > 0

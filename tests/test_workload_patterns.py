@@ -1,0 +1,127 @@
+"""Unit tests for the address-stream patterns."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.patterns import (
+    ColumnSweep,
+    HotRandom,
+    MultiArrayStencil,
+    PointerChase,
+    StackPattern,
+    StridedStream,
+)
+
+RNG = np.random.default_rng(7)
+
+
+def collect(pat, n=256):
+    return [pat.next_access(RNG) for _ in range(n)]
+
+
+class TestStridedStream:
+    def test_advances_by_stride(self):
+        p = StridedStream(0x1000, stride=8, extent=1 << 16)
+        addrs = [a for a, _ in collect(p, 10)]
+        assert addrs == [0x1000 + 8 * i for i in range(10)]
+
+    def test_wraps_at_extent(self):
+        p = StridedStream(0, stride=8, extent=32)
+        addrs = [a for a, _ in collect(p, 6)]
+        assert addrs == [0, 8, 16, 24, 0, 8]
+
+    def test_line_sharing(self):
+        # 8-byte stride on 32-byte lines: exactly 4 accesses per line
+        p = StridedStream(0, stride=8, extent=1 << 16)
+        lines = [a >> 5 for a, _ in collect(p, 64)]
+        from collections import Counter
+        assert all(c == 4 for c in Counter(lines).values())
+
+    def test_alignment(self):
+        p = StridedStream(0x1003, stride=4, size=4, extent=1 << 12)
+        for a, s in collect(p, 50):
+            assert a % s == 0
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            StridedStream(0, stride=0)
+
+
+class TestMultiArrayStencil:
+    def test_round_robin_arrays(self):
+        p = MultiArrayStencil(0, arrays=3, array_bytes=1 << 12, stagger=0)
+        addrs = [a for a, _ in collect(p, 6)]
+        assert addrs[0] == 0
+        assert addrs[1] == 1 << 12
+        assert addrs[2] == 2 << 12
+        assert addrs[3] == 8  # next index, array 0
+
+    def test_stagger_decorrelates_banks(self):
+        p = MultiArrayStencil(0, arrays=4, array_bytes=1 << 21, stagger=96)
+        banks = {(a >> 5) % 64 for a, _ in collect(p, 4)}
+        assert len(banks) > 1  # without stagger all four alias to one bank
+
+    def test_no_stagger_aliases(self):
+        p = MultiArrayStencil(0, arrays=4, array_bytes=1 << 21, stagger=0)
+        banks = {(a >> 5) % 64 for a, _ in collect(p, 4)}
+        assert len(banks) == 1
+
+
+class TestColumnSweep:
+    def test_same_bank_pressure(self):
+        # row_bytes = 2048 = 64 lines of 32B: every access hits bank 0
+        p = ColumnSweep(0, row_bytes=2048, rows=16, cols=4)
+        accesses = collect(p, 16)
+        banks = {(a >> 5) % 64 for a, _ in accesses}
+        assert banks == {0}
+        lines = {a >> 5 for a, _ in accesses}
+        assert len(lines) == 16  # all distinct lines
+
+    def test_column_advance(self):
+        p = ColumnSweep(0, row_bytes=2048, rows=2, cols=4, elem=8)
+        addrs = [a for a, _ in collect(p, 5)]
+        assert addrs[:2] == [0, 2048]
+        assert addrs[2] == 8  # next column
+
+    def test_partial_skew(self):
+        # 1024-byte rows alternate between two banks
+        p = ColumnSweep(0, row_bytes=1024, rows=8, cols=2)
+        banks = {(a >> 5) % 64 for a, _ in collect(p, 8)}
+        assert len(banks) == 2
+
+
+class TestPointerChase:
+    def test_fields_share_node_line(self):
+        p = PointerChase(0, footprint_bytes=1 << 20, node_bytes=32, fields=3)
+        accesses = collect(p, 3)
+        lines = {a >> 5 for a, _ in accesses}
+        assert len(lines) == 1  # one node, three fields
+
+    def test_nodes_jump(self):
+        p = PointerChase(0, footprint_bytes=1 << 24, node_bytes=32, fields=1)
+        lines = [a >> 5 for a, _ in collect(p, 50)]
+        assert len(set(lines)) > 40  # essentially no locality
+
+    def test_footprint_respected(self):
+        base = 0x10000000
+        p = PointerChase(base, footprint_bytes=1 << 16)
+        for a, s in collect(p, 200):
+            assert base <= a < base + (1 << 16) + 64
+
+
+class TestHotAndStack:
+    def test_hot_random_in_region(self):
+        p = HotRandom(0x2000, region_bytes=4096, size=4)
+        for a, s in collect(p, 200):
+            assert 0x2000 <= a < 0x3000
+            assert a % 4 == 0
+
+    def test_stack_stays_near_top(self):
+        p = StackPattern(0x7000, depth_bytes=256)
+        for a, _ in collect(p, 300):
+            assert 0x7000 <= a < 0x7100
+
+    def test_stack_reuses_lines(self):
+        p = StackPattern(0, depth_bytes=256)
+        lines = [a >> 5 for a, _ in collect(p, 100)]
+        assert len(set(lines)) <= 8
