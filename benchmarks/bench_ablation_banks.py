@@ -1,6 +1,6 @@
 """Ablation: DistribLSQ geometry (banks x entries/bank), section 3.5."""
 
-from repro.experiments.runner import DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP, run_one
+from repro.experiments.runner import run_one
 from repro.lsq.samie import SamieConfig, SamieLSQ
 
 WORKLOADS = ["ammp", "swim", "gcc"]
@@ -13,8 +13,7 @@ def sweep():
         for w in WORKLOADS:
             def factory(b=banks, e=entries):
                 return SamieLSQ(SamieConfig(banks=b, entries_per_bank=e))
-            r = run_one(w, factory, f"samie-{banks}x{entries}",
-                        DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP)
+            r = run_one(w, factory, f"samie-{banks}x{entries}")
             comparisons = r.lsq_stats["addr_comparisons"]
             rows.append((f"{banks}x{entries}", w, r.ipc,
                          comparisons / max(1, r.lsq_stats["placed"]),

@@ -7,7 +7,7 @@ left on the table.
 """
 
 from repro.core.config import ProcessorConfig
-from repro.experiments.runner import DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP, run_one, samie_default
+from repro.experiments.runner import run_one, samie_default
 from repro.mem.hierarchy import MemConfig
 
 WORKLOADS = ["swim", "art", "gzip", "mcf"]
@@ -16,10 +16,10 @@ WORKLOADS = ["swim", "art", "gzip", "mcf"]
 def sweep():
     rows = []
     for w in WORKLOADS:
-        base = run_one(w, samie_default, "samie", DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP)
+        base = run_one(w, samie_default, "samie")
         cfg = ProcessorConfig(mem=MemConfig(fast_way_hit_latency=1))
         fast = run_one(w, samie_default, "samie-fastway",
-                       DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP, cfg=cfg)
+                       cfg=cfg)
         rows.append((w, base.ipc, fast.ipc, 100.0 * (fast.ipc / base.ipc - 1.0)))
     return rows
 

@@ -1,6 +1,6 @@
 """Ablation: SharedLSQ size 0..16 (paper section 3.5 / Figure 4 choice)."""
 
-from repro.experiments.runner import DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP, run_one
+from repro.experiments.runner import run_one
 from repro.lsq.samie import SamieConfig, SamieLSQ
 
 WORKLOADS = ["ammp", "apsi", "gzip"]
@@ -13,8 +13,7 @@ def sweep():
         for w in WORKLOADS:
             def factory(s=shared):
                 return SamieLSQ(SamieConfig(shared_entries=s))
-            r = run_one(w, factory, f"samie-shared{shared}",
-                        DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP)
+            r = run_one(w, factory, f"samie-shared{shared}")
             rows.append((shared, w, r.ipc, 1e6 * r.deadlock_flushes / r.cycles,
                          r.addr_buffer_busy_frac))
     return rows

@@ -7,7 +7,7 @@ entries.  The paper picks 8.
 
 import pytest
 
-from repro.experiments.runner import DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP, run_one
+from repro.experiments.runner import run_one
 from repro.lsq.samie import SamieConfig, SamieLSQ
 
 WORKLOADS = ["swim", "gzip", "ammp"]
@@ -20,8 +20,7 @@ def sweep():
         for w in WORKLOADS:
             def factory(s=slots):
                 return SamieLSQ(SamieConfig(slots_per_entry=s))
-            r = run_one(w, factory, f"samie-slots{slots}",
-                        DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP)
+            r = run_one(w, factory, f"samie-slots{slots}")
             rows.append((slots, w, r.ipc,
                          sum(r.lsq_energy_pj.values()) / r.instructions,
                          r.lsq_stats["way_known_accesses"],

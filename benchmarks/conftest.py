@@ -16,6 +16,21 @@ from __future__ import annotations
 
 import pytest
 
+from repro.experiments import runner
+
+
+@pytest.fixture(autouse=True)
+def _scale_guard():
+    """Evict memoised results from abandoned scales between benches.
+
+    The runner's memo key already embeds the per-call scale (no stale
+    result can be *served*); this guard keeps a session that changes
+    ``REPRO_INSTR``/``REPRO_WARMUP`` between parameterized runs from
+    retaining one cache generation per scale.
+    """
+    runner.ensure_scale_coherent()
+    yield
+
 
 @pytest.fixture
 def regen(benchmark):

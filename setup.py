@@ -1,10 +1,29 @@
-"""Setuptools shim.
+"""Packaging for the SAMIE-LSQ reproduction.
 
-Packaging metadata lives in ``pyproject.toml``; this file exists so that
-``pip install -e .`` works on environments whose setuptools predates PEP 660
-editable-wheel support (it falls back to ``setup.py develop``).
+Installs two console scripts (both dispatch to :func:`repro.cli.main`):
+
+* ``samie-repro`` -- the historical name.
+* ``repro``       -- short form; ``repro verify --programs 500 --jobs 8``
+  is the documented pre-merge conformance gate (see ROADMAP.md,
+  "Verification").
+
+Without installing, the same entry point is ``PYTHONPATH=src python -m
+repro.cli``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="samie-lsq-repro",
+    version="0.1.0",
+    description="Reproduction of SAMIE-LSQ: set-associative multiple-instruction entry load/store queue",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    entry_points={
+        "console_scripts": [
+            "samie-repro = repro.cli:main",
+            "repro = repro.cli:main",
+        ]
+    },
+)

@@ -7,6 +7,11 @@ Subcommands:
 * ``figure ID``            -- regenerate one paper artefact (figure1,
                               figure3..figure12, table1)
 * ``all``                  -- regenerate every artefact
+* ``verify``               -- differential conformance campaign: fuzzed
+                              programs through every LSQ model across a
+                              geometry grid, checked against the golden
+                              in-order oracle (the pre-merge gate is
+                              ``repro verify --programs 500 --jobs 8``)
 """
 
 from __future__ import annotations
@@ -103,6 +108,68 @@ def _cmd_all(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify.campaign import GRIDS, CampaignConfig, run_campaign
+    from repro.verify.fuzz import PROFILE_NAMES
+
+    fault = args.inject_bug
+    profiles = (args.profile,) if args.profile else PROFILE_NAMES
+
+    if args.replay is not None:
+        # replay one program from its (seed, profile) pair
+        from repro.verify.diff import diff_program
+        from repro.verify.fuzz import ProgramSpec
+
+        spec = ProgramSpec(index=0, seed=args.replay, profile=args.profile or "mixed")
+        grid = GRIDS[args.grid]()
+        div = diff_program(spec, grid, fault=fault if fault != "none" else None,
+                           minimize=not args.no_minimize)
+        if div is None:
+            print(f"replay seed={spec.seed} profile={spec.profile}: no divergence "
+                  f"({len(grid)} geometry points)")
+            if fault != "none":
+                # same convention as campaign self-tests: an injected fault
+                # that goes undetected is the failure
+                print("self-test FAILED: injected fault produced no divergence")
+                return 1
+            return 0
+        div.grid, div.fault = args.grid, fault
+        print(f"replay seed={spec.seed} profile={spec.profile}: DIVERGENCE")
+        print(f"  point={div.point} reason={div.reason}")
+        print(f"  {div.detail}")
+        print(f"  minimized to {div.minimized_len} ops (from {div.program_len})")
+        for t in div.minimized_program:
+            print(f"    {t}")
+        if fault != "none":
+            print("self-test ok: injected fault was detected")
+            return 0
+        return 1
+
+    cfg = CampaignConfig(
+        programs=args.programs,
+        seed=args.seed,
+        jobs=args.jobs,
+        grid=args.grid,
+        profiles=profiles,
+        fault=fault,
+        minimize=not args.no_minimize,
+    )
+    report = run_campaign(cfg)
+    print(report.summary_text())
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(report.to_json() + "\n")
+        print(f"report written to {args.json}")
+    # An injected fault is a self-test: finding the bug is the pass.
+    if fault != "none":
+        if report.ok:
+            print("self-test FAILED: injected fault produced no divergence")
+            return 1
+        print("self-test ok: injected fault was detected")
+        return 0
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(prog="samie-repro", description=__doc__)
@@ -125,6 +192,32 @@ def main(argv: list[str] | None = None) -> int:
     all_p = sub.add_parser("all", help="regenerate every artefact")
     all_p.add_argument("--out", default=None, help="also write per-artefact .txt/.json files here")
     all_p.set_defaults(fn=_cmd_all)
+
+    from repro.verify.diff import FAULTS
+    from repro.verify.fuzz import PROFILE_NAMES
+
+    ver_p = sub.add_parser(
+        "verify",
+        help="differential conformance campaign (fuzz vs golden oracle)",
+    )
+    ver_p.add_argument("--programs", type=int, default=100,
+                       help="fuzzed programs to check (pre-merge gate: 500)")
+    ver_p.add_argument("--seed", type=int, default=1, help="campaign base seed")
+    ver_p.add_argument("--jobs", type=int, default=1,
+                       help="parallel worker processes (1 = in-process)")
+    ver_p.add_argument("--grid", default="default", choices=["default", "quick"],
+                       help="geometry grid to sweep")
+    ver_p.add_argument("--profile", default=None, choices=list(PROFILE_NAMES),
+                       help="restrict fuzzing to one stress profile")
+    ver_p.add_argument("--inject-bug", default="none", choices=list(FAULTS),
+                       help="self-test: break the models and require detection")
+    ver_p.add_argument("--replay", type=int, default=None, metavar="SEED",
+                       help="re-check one program by seed (with --profile)")
+    ver_p.add_argument("--no-minimize", action="store_true",
+                       help="skip delta-debugging of diverging programs")
+    ver_p.add_argument("--json", default=None, metavar="PATH",
+                       help="write the JSON campaign report here")
+    ver_p.set_defaults(fn=_cmd_verify)
 
     args = parser.parse_args(argv)
     return args.fn(args)

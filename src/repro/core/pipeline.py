@@ -149,6 +149,9 @@ class Pipeline:
         self._expected: dict[int, tuple[int, ...]] = {}
         self._committed_mem: dict[int, int] = {}
         self.data_violations: list[tuple[int, tuple, tuple]] = []
+        #: seq -> observed value of every retired load (track_data mode);
+        #: compared against the standalone golden model by repro.verify.diff
+        self.committed_load_values: dict[int, tuple[int, ...]] = {}
 
         # occupancy telemetry
         self.shared_occ_hist = Histogram(max_value=512)
@@ -312,6 +315,7 @@ class Pipeline:
         self._replay.pop(ins.seq, None)
         self._release_reg(ins)
         if self.cfg.track_data and ins.uop.is_load:
+            self.committed_load_values[ins.seq] = ins.load_value
             expected = self._expected.pop(ins.seq, None)
             if expected is not None and ins.load_value != expected:
                 self.data_violations.append((ins.seq, expected, ins.load_value))
@@ -604,6 +608,16 @@ class Pipeline:
             tlb.hits.reset()
             tlb.misses.reset()
         self.data_violations.clear()
+        self.committed_load_values.clear()
+
+    def committed_memory(self) -> dict[int, int]:
+        """Byte -> seq of the last committed store (track_data mode).
+
+        This is the architectural memory image after the run; the
+        differential engine (:mod:`repro.verify.diff`) compares it against
+        the golden in-order model's final state.
+        """
+        return dict(self._committed_mem)
 
     def run(
         self,

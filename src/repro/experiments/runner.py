@@ -25,8 +25,38 @@ from repro.lsq.samie import SamieConfig, SamieLSQ
 from repro.workloads.registry import make_trace
 from repro.workloads.spec2000 import SPEC2000_PROFILES
 
-DEFAULT_INSTRUCTIONS = int(os.environ.get("REPRO_INSTR", 6000))
-DEFAULT_WARMUP = int(os.environ.get("REPRO_WARMUP", 3000))
+def current_scale() -> tuple[int, int]:
+    """(instructions, warmup) from the environment, read at call time.
+
+    Reading per call (rather than once at import) lets a session override
+    ``REPRO_INSTR``/``REPRO_WARMUP`` between parameterized runs without
+    being served results computed at the old scale.
+    """
+    return (
+        int(os.environ.get("REPRO_INSTR", 6000)),
+        int(os.environ.get("REPRO_WARMUP", 3000)),
+    )
+
+
+DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP = current_scale()
+
+_last_scale: tuple[int, int] | None = None
+
+
+def ensure_scale_coherent() -> None:
+    """Drop memoised results when the environment scale changed.
+
+    Correctness is already guaranteed by the memo key (it embeds the
+    per-call scale); this hook additionally evicts results computed at
+    abandoned scales so a session that sweeps ``REPRO_INSTR`` does not
+    accumulate one cache generation per scale.  The benchmark harness
+    calls it between tests.
+    """
+    global _last_scale
+    scale = current_scale()
+    if _last_scale is not None and scale != _last_scale:
+        clear_cache()
+    _last_scale = scale
 
 #: Subset used by the expensive ARB sweep (Figure 1) at default scale.
 REPRESENTATIVE_WORKLOADS = [
@@ -54,9 +84,12 @@ def run_one(
     """Simulate one workload on one machine, memoised by ``machine_key``."""
     if workload not in SPEC2000_PROFILES:
         raise KeyError(f"unknown workload {workload!r}")
-    n = instructions if instructions is not None else DEFAULT_INSTRUCTIONS
-    w = warmup if warmup is not None else DEFAULT_WARMUP
-    key = (workload, machine_key, n, w, seed)
+    env_n, env_w = current_scale()
+    n = instructions if instructions is not None else env_n
+    w = warmup if warmup is not None else env_w
+    # cfg is part of the key: two runs of the same machine under different
+    # processor configs (e.g. the fast-way ablation) must not collide
+    key = (workload, machine_key, n, w, seed, repr(cfg) if cfg else "")
     if key not in _cache:
         pipe = build_processor(lsq_factory(), cfg)
         pipe.attach_trace(make_trace(workload, seed))

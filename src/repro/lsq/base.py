@@ -22,6 +22,16 @@ experiment can swap designs without touching the core.  The contract:
 Energy is charged to the model's :class:`~repro.energy.accounting.
 EnergyAccount` as events happen; the pipeline owns D-cache/DTLB energy
 because the rates depend on routing decisions made here.
+
+Conformance contract: any implementation of this interface must preserve
+exact in-order load/store semantics -- every load observes the value of
+the youngest older store to its bytes, every instruction commits exactly
+once, and the final memory image matches sequential execution.  The
+contract is enforced differentially by :mod:`repro.verify.diff`, which
+runs fuzzed programs (:mod:`repro.verify.fuzz`) through every model
+across a geometry grid and checks them against the golden in-order
+oracle (:mod:`repro.verify.oracle`).  Run ``repro verify`` (see
+:mod:`repro.verify.campaign`) before merging changes to any model.
 """
 
 from __future__ import annotations

@@ -1,0 +1,30 @@
+"""Differential-verification subsystem.
+
+The paper's central claim is that SAMIE-LSQ preserves exact load/store
+semantics while slashing LSQ energy.  This package is the machinery that
+keeps that claim checkable as the codebase grows:
+
+* :mod:`repro.verify.oracle`   -- golden in-order memory model.
+* :mod:`repro.verify.fuzz`     -- seeded stress-program generator.
+* :mod:`repro.verify.diff`     -- differential engine: one program, every
+  LSQ model, a grid of geometries, first divergence reported with a
+  minimized repro.
+* :mod:`repro.verify.campaign` -- parallel conformance campaign runner
+  with a JSON report (``repro verify`` on the command line).
+
+The pre-merge gate documented in ROADMAP.md is::
+
+    repro verify --programs 500 --jobs 8
+"""
+
+from repro.verify.fuzz import PROFILE_NAMES, ProgramSpec, generate_program, program_stream
+from repro.verify.oracle import OracleResult, execute
+
+__all__ = [
+    "PROFILE_NAMES",
+    "ProgramSpec",
+    "OracleResult",
+    "execute",
+    "generate_program",
+    "program_stream",
+]

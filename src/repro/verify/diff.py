@@ -1,0 +1,318 @@
+"""Differential engine: one program, every LSQ model, a geometry grid.
+
+Runs a UOp program through ConventionalLSQ, ARBLSQ and SamieLSQ across a
+grid of geometries (banks x entries_per_bank x slots_per_entry x
+shared_entries, including ``shared_entries=None`` and tiny AddrBuffers)
+and checks each run against the golden in-order model
+(:mod:`repro.verify.oracle`) on three axes:
+
+1. every instruction commits exactly once (``commit-count``),
+2. every retired load observed the in-order value (``load-value``, plus
+   the pipeline's own ``internal-oracle`` violations),
+3. the final committed memory image matches (``final-memory``).
+
+The first mismatch is reported as a :class:`Divergence` carrying the
+replayable ``(seed, profile)`` pair and a delta-debugging-minimized
+program, so a failing 120-op fuzz case typically shrinks to a handful of
+instructions before a human ever looks at it.
+
+``inject_fault`` deliberately breaks the models (e.g. disables
+store-to-load forwarding) so the campaign can prove it *would* catch a
+real bug -- the self-test behind ``repro verify --inject-bug``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.config import ProcessorConfig
+from repro.core.processor import build_processor
+from repro.isa.uop import UOp
+from repro.lsq.arb import ARBConfig, ARBLSQ
+from repro.lsq.base import BaseLSQ
+from repro.lsq.conventional import ConventionalLSQ
+from repro.lsq.samie import SamieConfig, SamieLSQ
+from repro.verify import oracle
+from repro.verify.fuzz import ProgramSpec, uop_tuple
+
+
+@dataclass(frozen=True)
+class GeometryPoint:
+    """One (model kind, geometry) cell of the conformance grid.
+
+    ``params`` is a sorted key/value tuple (not a dict) so points stay
+    hashable and picklable for the parallel campaign workers.
+    """
+
+    name: str
+    kind: str  # "conventional" | "arb" | "samie"
+    params: tuple[tuple[str, int | None], ...] = ()
+
+    def make_lsq(self) -> BaseLSQ:
+        """Instantiate the LSQ model for this grid point."""
+        kw = dict(self.params)
+        if self.kind == "conventional":
+            return ConventionalLSQ(capacity=kw.get("capacity", 128))
+        if self.kind == "arb":
+            return ARBLSQ(ARBConfig(**kw))
+        if self.kind == "samie":
+            return SamieLSQ(SamieConfig(**kw))
+        raise ValueError(f"unknown model kind {self.kind!r}")
+
+
+def _pt(name: str, kind: str, **params) -> GeometryPoint:
+    return GeometryPoint(name, kind, tuple(sorted(params.items())))
+
+
+def default_grid() -> tuple[GeometryPoint, ...]:
+    """The full conformance grid: all three models, 8 geometry points."""
+    return (
+        _pt("conventional-128", "conventional", capacity=128),
+        _pt("conventional-16", "conventional", capacity=16),
+        _pt("arb-8x16", "arb", banks=8, addresses_per_bank=16, max_inflight=128),
+        _pt("arb-2x4", "arb", banks=2, addresses_per_bank=4, max_inflight=32),
+        _pt("samie-table3", "samie"),  # paper defaults: 64x2x8, shared=8, ab=64
+        _pt("samie-tiny", "samie", banks=4, entries_per_bank=1, slots_per_entry=2,
+            shared_entries=1, addr_buffer_slots=4, l1d_sets=64),
+        _pt("samie-noshared-cap", "samie", banks=8, entries_per_bank=2,
+            slots_per_entry=2, shared_entries=None, addr_buffer_slots=8,
+            l1d_sets=64),
+        _pt("samie-ab-tiny", "samie", banks=16, entries_per_bank=2,
+            slots_per_entry=2, shared_entries=2, addr_buffer_slots=4,
+            l1d_sets=64),
+    )
+
+
+def quick_grid() -> tuple[GeometryPoint, ...]:
+    """Reduced grid (one geometry per model + tiny SAMIE) for smoke tests."""
+    full = {p.name: p for p in default_grid()}
+    return (full["conventional-128"], full["arb-8x16"],
+            full["samie-table3"], full["samie-tiny"])
+
+
+@dataclass
+class ModelOutcome:
+    """What one model actually did with one program."""
+
+    point: str
+    committed: int
+    cycles: int
+    load_values: dict[int, tuple[int, ...]]
+    final_mem: dict[int, int]
+    violations: list[tuple[int, tuple, tuple]]
+    deadlock_flushes: int
+    overflow_flushes: int
+
+
+def run_model(
+    program: list[UOp], point: GeometryPoint, max_cycles: int | None = None
+) -> ModelOutcome:
+    """Run one program through one grid point with data checking on."""
+    n = len(program)
+    pipe = build_processor(point.make_lsq(), ProcessorConfig(track_data=True))
+    pipe.attach_trace(iter(program))
+    # generous ceiling: flush storms at tiny geometries replay instructions
+    res = pipe.run(n, max_cycles=max_cycles if max_cycles is not None else 200 * n + 20_000)
+    return ModelOutcome(
+        point=point.name,
+        committed=res.instructions,
+        cycles=res.cycles,
+        load_values=dict(pipe.committed_load_values),
+        final_mem=pipe.committed_memory(),
+        violations=list(pipe.data_violations),
+        deadlock_flushes=pipe.deadlock_flushes,
+        overflow_flushes=pipe.overflow_flushes,
+    )
+
+
+def compare_outcome(
+    out: ModelOutcome, golden: oracle.OracleResult, n: int
+) -> tuple[str, str] | None:
+    """First (reason, detail) mismatch between a model run and the oracle."""
+    if out.committed != n:
+        return "commit-count", f"committed {out.committed} of {n} instructions"
+    if out.violations:
+        seq, exp, got = out.violations[0]
+        return "internal-oracle", f"load #{seq}: expected {exp}, observed {got}"
+    for seq in sorted(golden.load_values):
+        exp = golden.load_values[seq]
+        got = out.load_values.get(seq)
+        if got != exp:
+            return "load-value", f"load #{seq}: expected {exp}, observed {got}"
+    if out.final_mem != golden.final_mem:
+        bad = sorted(set(out.final_mem) | set(golden.final_mem))
+        for b in bad:
+            if out.final_mem.get(b) != golden.final_mem.get(b):
+                return (
+                    "final-memory",
+                    f"byte 0x{b:x}: expected writer {golden.final_mem.get(b)}, "
+                    f"observed {out.final_mem.get(b)}",
+                )
+    return None
+
+
+@dataclass
+class Divergence:
+    """One conformance failure, replayable and minimized."""
+
+    point: str
+    reason: str
+    detail: str
+    seed: int = -1
+    profile: str = ""
+    index: int = -1
+    program_len: int = 0
+    minimized_len: int = 0
+    minimized_program: list[tuple] = field(default_factory=list)
+    #: campaign context needed to actually reproduce (grid + injected fault)
+    grid: str = "default"
+    fault: str = "none"
+
+    @property
+    def replay_hint(self) -> str:
+        """Shell command that reproduces this divergence."""
+        cmd = f"repro verify --replay {self.seed} --profile {self.profile}"
+        if self.grid != "default":
+            cmd += f" --grid {self.grid}"
+        if self.fault != "none":
+            cmd += f" --inject-bug {self.fault}"
+        return cmd
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable snapshot (includes the replay command)."""
+        from dataclasses import asdict
+
+        d = asdict(self)
+        d["replay_hint"] = self.replay_hint
+        return d
+
+
+# -- fault injection -----------------------------------------------------------
+FAULTS: tuple[str, ...] = ("none", "no-store-forwarding")
+
+
+@contextmanager
+def inject_fault(name: str | None) -> Iterator[None]:
+    """Deliberately break the models for campaign self-tests.
+
+    ``no-store-forwarding`` blinds every model's youngest-older-overlapping
+    store search, so loads race ahead of uncommitted stores and read stale
+    memory -- the classic ordering bug a refactor could introduce.
+    """
+    if not name or name == "none":
+        yield
+        return
+    if name != "no-store-forwarding":
+        raise ValueError(f"unknown fault {name!r}; choose from {FAULTS}")
+    import repro.lsq.arb as arb_mod
+    import repro.lsq.samie as samie_mod
+
+    saved = (
+        samie_mod.youngest_older_overlapping,
+        arb_mod.youngest_older_overlapping,
+        ConventionalLSQ._forward_source,
+    )
+    samie_mod.youngest_older_overlapping = lambda load, stores: None
+    arb_mod.youngest_older_overlapping = lambda load, stores: None
+    ConventionalLSQ._forward_source = lambda self, ins: None
+    try:
+        yield
+    finally:
+        samie_mod.youngest_older_overlapping = saved[0]
+        arb_mod.youngest_older_overlapping = saved[1]
+        ConventionalLSQ._forward_source = saved[2]
+
+
+# -- checking and minimization -------------------------------------------------
+def check_program(
+    program: list[UOp],
+    grid: tuple[GeometryPoint, ...],
+    fault: str | None = None,
+) -> Divergence | None:
+    """Run one program over the grid; first divergence or None."""
+    golden = oracle.execute(program)
+    n = len(program)
+    with inject_fault(fault):
+        for point in grid:
+            mismatch = compare_outcome(run_model(program, point), golden, n)
+            if mismatch is not None:
+                reason, detail = mismatch
+                return Divergence(point=point.name, reason=reason, detail=detail,
+                                  program_len=n)
+    return None
+
+
+def _renumber(ops: list[UOp]) -> list[UOp]:
+    """Re-sequence a subset densely from 0 (the fetch contract).
+
+    Producer distances are kept as-is: a distance reaching before the
+    program start simply resolves to "operand already architected".
+    """
+    return [
+        UOp(i, u.pc, u.op, src1=u.src1, src2=u.src2, addr=u.addr,
+            size=u.size, taken=u.taken, target=u.target)
+        for i, u in enumerate(ops)
+    ]
+
+
+def minimize_program(
+    program: list[UOp],
+    grid: tuple[GeometryPoint, ...],
+    fault: str | None = None,
+    max_checks: int = 150,
+) -> list[UOp]:
+    """Delta-debugging shrink: smallest subsequence that still diverges."""
+    ops = list(program)
+    checks = 0
+
+    def still_fails(cand: list[UOp]) -> bool:
+        nonlocal checks
+        if not cand or checks >= max_checks:
+            return False
+        checks += 1
+        return check_program(cand, grid, fault) is not None
+
+    chunk = max(1, len(ops) // 2)
+    while True:
+        i = 0
+        while i < len(ops):
+            cand = _renumber(ops[:i] + ops[i + chunk:])
+            if still_fails(cand):
+                ops = cand
+            else:
+                i += chunk
+        if chunk == 1 or checks >= max_checks:
+            break
+        chunk = max(1, chunk // 2)
+    return ops
+
+
+def diff_program(
+    spec: ProgramSpec,
+    grid: tuple[GeometryPoint, ...],
+    fault: str | None = None,
+    minimize: bool = True,
+) -> Divergence | None:
+    """Fuzz-check one replayable program spec; minimized divergence or None."""
+    program = spec.build()
+    div = check_program(program, grid, fault)
+    if div is None:
+        return None
+    div.seed, div.profile, div.index = spec.seed, spec.profile, spec.index
+    if minimize:
+        # shrink against the diverging point only (cheap), then re-derive
+        # the reason from the minimized program
+        point = next(p for p in grid if p.name == div.point)
+        small = minimize_program(program, (point,), fault)
+        rediag = check_program(small, (point,), fault)
+        if rediag is not None:
+            div.reason, div.detail = rediag.reason, rediag.detail
+            div.minimized_len = len(small)
+            div.minimized_program = [uop_tuple(u) for u in small]
+        else:  # pragma: no cover - minimizer returned the original program
+            div.minimized_len = len(program)
+    else:
+        div.minimized_len = len(program)
+    return div

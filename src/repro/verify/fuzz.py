@@ -1,0 +1,161 @@
+"""Seeded stress-program generator for the conformance campaigns.
+
+Promotes and generalizes the strategy that used to live privately in
+``tests/test_property_memory.py``: random little programs of loads,
+stores, ALU ops and branches over a constrained address space, with
+random producer-distance dependences.  Each *profile* biases the stream
+toward one failure mode of a load/store queue:
+
+* ``aliasing``       -- two cache lines, load/store heavy: dense
+  same-line aliasing clusters exercising forwarding and entry sharing.
+* ``sizes``          -- overlapping 1/2/4/8-byte accesses packed into two
+  words: partial-overlap and containment corner cases.
+* ``bank_conflict``  -- distinct lines all mapping to the same
+  DistribLSQ bank (stride = 64 lines): entry exhaustion and SharedLSQ
+  spill under bank pressure.
+* ``branch_storm``   -- branch-dominated stream with varied targets:
+  mispredict stalls and fetch breaks interleaved with memory traffic.
+* ``addr_pressure``  -- many distinct lines, store heavy, slow store
+  data: fills entries, pushes the AddrBuffer and provokes the §3.3
+  overflow/deadlock flush paths.
+* ``mixed``          -- a bit of everything (the default).
+
+All accesses are size-aligned and stay inside one 8-byte word (the
+synthetic ISA contract the ARB model's word granularity relies on).
+Generation is fully deterministic: ``generate_program(seed, profile)``
+always yields the identical program, so every campaign divergence is
+replayable from its ``(seed, profile)`` pair alone.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.common.rng import derive_seed
+from repro.isa.opclasses import OpClass
+from repro.isa.uop import UOp
+
+#: base of the synthetic data segment (two pages above zero)
+BASE_ADDR = 0x1000
+LINE_BYTES = 32
+WORDS_PER_LINE = LINE_BYTES // 8
+_ALU_CLASSES = (OpClass.INT_ALU, OpClass.INT_MULT, OpClass.FP_ALU)
+_BRANCH_TARGETS = (0x400000, 0x400040, 0x400080)
+
+
+@dataclass(frozen=True)
+class Profile:
+    """One stress profile: op-kind mix plus address-space shape."""
+
+    name: str
+    #: sampling weights for (load, store, alu, branch)
+    weights: tuple[float, float, float, float]
+    #: cache-line indices (relative to BASE_ADDR's line) the profile uses
+    line_indices: tuple[int, ...]
+    #: word slots within a line accesses may land in
+    word_slots: tuple[int, ...]
+    sizes: tuple[int, ...] = (1, 2, 4, 8)
+    min_ops: int = 20
+    max_ops: int = 120
+    #: maximum producer distance for src operands (0 disables dependences)
+    max_src_distance: int = 8
+
+
+_PROFILES: dict[str, Profile] = {
+    p.name: p
+    for p in (
+        Profile("aliasing", (0.40, 0.40, 0.15, 0.05), (0, 1), (0, 1, 2, 3)),
+        Profile("sizes", (0.45, 0.40, 0.10, 0.05), (0, 1, 2), (0, 1)),
+        Profile("bank_conflict", (0.35, 0.40, 0.20, 0.05),
+                tuple(64 * k for k in range(8)), (0, 1, 2, 3)),
+        Profile("branch_storm", (0.20, 0.15, 0.20, 0.45), (0, 1, 2, 3), (0, 1, 2, 3)),
+        Profile("addr_pressure", (0.25, 0.45, 0.25, 0.05),
+                tuple(3 * k for k in range(32)), (0, 1, 2, 3),
+                max_src_distance=12),
+        Profile("mixed", (0.30, 0.30, 0.25, 0.15),
+                (0, 1, 2, 5, 64, 65, 128), (0, 1, 2, 3)),
+    )
+}
+
+PROFILE_NAMES: tuple[str, ...] = tuple(_PROFILES)
+
+
+def get_profile(name: str) -> Profile:
+    """Look up a profile by name (raises KeyError on unknown names)."""
+    return _PROFILES[name]
+
+
+def generate_program(
+    seed: int, profile: str = "mixed", length: int | None = None
+) -> list[UOp]:
+    """Deterministically generate one stress program.
+
+    ``length`` overrides the profile's random op count (used by tests and
+    the minimizer; normal campaigns let the profile choose).
+    """
+    prof = get_profile(profile)
+    rng = random.Random(derive_seed(seed, "verify-fuzz", profile))
+    n = length if length is not None else rng.randint(prof.min_ops, prof.max_ops)
+    kinds = ("load", "store", "alu", "branch")
+    ops: list[UOp] = []
+    for seq in range(n):
+        kind = rng.choices(kinds, weights=prof.weights, k=1)[0]
+        pc = 0x400000 + 4 * (seq % 64)
+        src1 = rng.randint(0, prof.max_src_distance)
+        if kind in ("load", "store"):
+            size = rng.choice(prof.sizes)
+            line = rng.choice(prof.line_indices)
+            word = rng.choice(prof.word_slots) % WORDS_PER_LINE
+            # size-aligned offset within the 8-byte word
+            off = rng.randrange(0, 8 // size) * size
+            addr = BASE_ADDR + line * LINE_BYTES + word * 8 + off
+            ops.append(
+                UOp(seq, pc, OpClass.LOAD if kind == "load" else OpClass.STORE,
+                    src1=src1, src2=rng.randint(0, prof.max_src_distance),
+                    addr=addr, size=size)
+            )
+        elif kind == "alu":
+            ops.append(UOp(seq, pc, rng.choice(_ALU_CLASSES), src1=src1))
+        else:
+            taken = rng.random() < 0.5
+            target = rng.choice(_BRANCH_TARGETS) if taken else 0
+            ops.append(UOp(seq, pc, OpClass.BRANCH, taken=taken, target=target))
+    return ops
+
+
+def uop_tuple(u: UOp) -> tuple:
+    """Canonical serialisable form of one uop (reports, equality checks)."""
+    return (u.seq, u.pc, u.op.name, u.src1, u.src2, u.addr, u.size, u.taken, u.target)
+
+
+def uop_from_tuple(t: tuple) -> UOp:
+    """Rebuild a uop serialised with :func:`uop_tuple`."""
+    seq, pc, op, src1, src2, addr, size, taken, target = t
+    return UOp(seq, pc, OpClass[op], src1=src1, src2=src2, addr=addr,
+               size=size, taken=bool(taken), target=target)
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """Replayable handle for one campaign program."""
+
+    index: int
+    seed: int
+    profile: str
+
+    def build(self) -> list[UOp]:
+        """Materialise the program (deterministic)."""
+        return generate_program(self.seed, self.profile)
+
+
+def program_stream(
+    base_seed: int, count: int, profiles: tuple[str, ...] | None = None
+) -> Iterator[ProgramSpec]:
+    """Yield ``count`` program specs, cycling profiles, seeds derived per
+    index so campaigns are reproducible and workers independent."""
+    names = profiles if profiles else PROFILE_NAMES
+    for i in range(count):
+        seed = derive_seed(base_seed, "verify-campaign", i) % (2**31)
+        yield ProgramSpec(index=i, seed=seed, profile=names[i % len(names)])

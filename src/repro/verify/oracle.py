@@ -1,0 +1,56 @@
+"""Golden in-order memory model.
+
+Executes a UOp program sequentially -- one instruction at a time, in
+program order, with no speculation and no queues -- and records what every
+load *must* observe plus the final memory image.  This is the ground truth
+the differential engine (:mod:`repro.verify.diff`) holds every LSQ model
+to.
+
+Value domain: the simulator does not model data values; it tags each
+memory byte with the sequence number of the last store that wrote it
+(``0`` = initial memory).  A load's value is the tuple of per-byte tags
+over its byte range.  The pipeline's ``track_data`` mode uses the same
+convention, so oracle output compares directly against
+``Pipeline.committed_load_values`` / ``Pipeline.committed_memory()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.isa.uop import UOp
+
+
+@dataclass
+class OracleResult:
+    """Ground truth for one program.
+
+    Attributes:
+        load_values: seq -> per-byte value tuple the load must observe.
+        final_mem: byte address -> seq of the last store writing it
+            (bytes never stored to are absent, i.e. initial memory).
+        loads, stores: instruction counts (sanity/reporting).
+    """
+
+    load_values: dict[int, tuple[int, ...]] = field(default_factory=dict)
+    final_mem: dict[int, int] = field(default_factory=dict)
+    loads: int = 0
+    stores: int = 0
+
+
+def execute(program: Iterable[UOp]) -> OracleResult:
+    """Run ``program`` in order and return the golden :class:`OracleResult`."""
+    res = OracleResult()
+    mem = res.final_mem
+    for uop in program:
+        if uop.is_store:
+            for b in range(uop.addr, uop.addr + uop.size):
+                mem[b] = uop.seq
+            res.stores += 1
+        elif uop.is_load:
+            res.load_values[uop.seq] = tuple(
+                mem.get(b, 0) for b in range(uop.addr, uop.addr + uop.size)
+            )
+            res.loads += 1
+    return res

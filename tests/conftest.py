@@ -3,8 +3,25 @@
 from __future__ import annotations
 
 import itertools
+import os
 
 import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow_fuzz: long differential-fuzzing campaigns; skipped unless REPRO_FUZZ=1",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if os.environ.get("REPRO_FUZZ") == "1":
+        return
+    skip = pytest.mark.skip(reason="slow fuzz campaign (set REPRO_FUZZ=1 to run)")
+    for item in items:
+        if "slow_fuzz" in item.keywords:
+            item.add_marker(skip)
 
 from repro.core.inflight import InFlight
 from repro.isa.opclasses import OpClass

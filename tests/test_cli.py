@@ -35,3 +35,72 @@ class TestCLI:
     def test_run_unknown_workload(self):
         with pytest.raises(KeyError):
             main(["run", "quake3"])
+
+
+class TestVerifyCLI:
+    def test_clean_campaign_exits_zero(self, capsys):
+        rc = main(["verify", "--programs", "6", "--jobs", "1", "--grid", "quick",
+                   "--no-minimize", "--seed", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "6 programs" in out
+
+    def test_injected_bug_is_selftest_pass(self, capsys):
+        rc = main(["verify", "--programs", "12", "--jobs", "1", "--grid", "quick",
+                   "--seed", "7", "--inject-bug", "no-store-forwarding"])
+        assert rc == 0  # finding the injected bug is the self-test passing
+        out = capsys.readouterr().out
+        assert "DIVERGENCES" in out and "replay:" in out
+        assert "self-test ok" in out
+
+    def test_json_report_written(self, tmp_path, capsys):
+        path = tmp_path / "report.json"
+        rc = main(["verify", "--programs", "3", "--jobs", "1", "--grid", "quick",
+                   "--no-minimize", "--json", str(path)])
+        assert rc == 0
+        import json
+
+        blob = json.loads(path.read_text())
+        assert blob["ok"] is True and blob["programs"] == 3
+
+    def test_replay_clean_seed(self, capsys):
+        rc = main(["verify", "--replay", "42", "--profile", "aliasing",
+                   "--grid", "quick"])
+        assert rc == 0
+        assert "no divergence" in capsys.readouterr().out
+
+    def test_replay_with_injected_bug(self, capsys):
+        # scan a few seeds for one the fault trips on, then replay it
+        from repro.verify.diff import check_program, quick_grid
+        from repro.verify.fuzz import program_stream
+
+        hit = None
+        for s in program_stream(5, 30):
+            if check_program(s.build(), quick_grid(), fault="no-store-forwarding"):
+                hit = s
+                break
+        assert hit is not None
+        rc = main(["verify", "--replay", str(hit.seed), "--profile", hit.profile,
+                   "--grid", "quick", "--inject-bug", "no-store-forwarding"])
+        assert rc == 0  # detecting the injected fault is the self-test passing
+        out = capsys.readouterr().out
+        assert "DIVERGENCE" in out and "minimized" in out
+        assert "self-test ok" in out
+
+    def test_replay_missed_fault_is_selftest_failure(self, capsys):
+        # a program the injected fault does NOT trip on: missing the bug
+        # must be reported as a self-test failure
+        from repro.verify.diff import check_program, quick_grid
+        from repro.verify.fuzz import program_stream
+
+        miss = None
+        for s in program_stream(5, 30):
+            if check_program(s.build(), quick_grid(),
+                             fault="no-store-forwarding") is None:
+                miss = s
+                break
+        assert miss is not None
+        rc = main(["verify", "--replay", str(miss.seed), "--profile", miss.profile,
+                   "--grid", "quick", "--inject-bug", "no-store-forwarding"])
+        assert rc == 1
+        assert "self-test FAILED" in capsys.readouterr().out

@@ -216,6 +216,99 @@ class TestExtensions:
         assert a.placement.location is None
 
 
+class TestPresentBitBulkReset:
+    """Regression tests for the §3.4 bulk-reset path: an L1 eviction clears
+    cached locations on exactly the entries that can map to the evicted
+    set, with no address comparison, and the next access re-pays the
+    Table 5 tag/location energy."""
+
+    def test_clears_every_entry_of_affected_bank(self):
+        # two entries (distinct lines) in the same bank: both lose their
+        # location, line address notwithstanding -- the "very simple
+        # alternative" compares no addresses
+        q = make(banks=4, sets=4)
+        a = place(q, OpClass.LOAD, 0, addr_for_bank(2, line_idx=0))
+        b = place(q, OpClass.LOAD, 1, addr_for_bank(2, line_idx=1))
+        q.record_location(a, set_idx=2, way=0)
+        q.record_location(b, set_idx=2, way=1)
+        q.on_l1_evict(set_idx=2, line_addr=a.placement.line)
+        assert a.placement.location is None
+        assert b.placement.location is None
+
+    def test_other_banks_untouched(self):
+        q = make(banks=4, sets=4)
+        a = place(q, OpClass.LOAD, 0, addr_for_bank(1))
+        b = place(q, OpClass.LOAD, 1, addr_for_bank(3))
+        q.record_location(a, set_idx=1, way=0)
+        q.record_location(b, set_idx=3, way=0)
+        q.on_l1_evict(set_idx=1, line_addr=999)
+        assert a.placement.location is None
+        assert b.placement.location == (3, 0)
+
+    def test_banks_lt_sets_mapping(self):
+        # 2 banks, 4 sets: lines of sets 1 and 3 both live in bank 1;
+        # evicting set 3 must clear bank-1 entries even when they cached
+        # set 1 (the bank cannot tell which of its lines was evicted)
+        q = make(banks=2, sets=4)
+        a = place(q, OpClass.LOAD, 0, 1 * LINE)  # line 1 -> bank 1
+        q.record_location(a, set_idx=1, way=0)
+        q.on_l1_evict(set_idx=3, line_addr=999)  # 3 % 2 banks -> bank 1
+        assert a.placement.location is None
+
+    def test_shared_entries_cleared_on_matching_set(self):
+        # every SharedLSQ entry whose cached set matches is cleared; the
+        # rest keep their location (narrow index equality, not a CAM scan)
+        q = make(banks=4, entries=1, sets=4)
+        place(q, OpClass.LOAD, 0, addr_for_bank(0, line_idx=1))  # fills bank 0
+        s1 = place(q, OpClass.LOAD, 1, addr_for_bank(0, line_idx=2))  # -> shared
+        s2 = place(q, OpClass.LOAD, 2, addr_for_bank(0, line_idx=3))  # -> shared
+        assert s1.placement.shared and s2.placement.shared
+        q.record_location(s1, set_idx=2, way=0)
+        q.record_location(s2, set_idx=2, way=1)
+        q.on_l1_evict(set_idx=2, line_addr=999)
+        assert s1.placement.location is None
+        assert s2.placement.location is None
+
+    def test_tlb_translation_survives_reset(self):
+        q = make(banks=4, sets=4)
+        a = place(q, OpClass.LOAD, 0, 0x100)
+        q.record_location(a, set_idx=0, way=0)
+        q.on_l1_evict(set_idx=0, line_addr=999)
+        assert a.placement.location is None
+        assert a.placement.tlb_cached  # eviction never touches the DTLB cache
+
+    def test_next_access_repays_tag_energy(self):
+        from repro.energy.tables import DISTRIB_LSQ_ENERGY as E_D
+
+        q = make(banks=4, sets=4)
+        a = place(q, OpClass.LOAD, 0, 0x100)
+        b = place(q, OpClass.LOAD, 1, 0x108)
+        q.record_location(a, set_idx=0, way=0)
+        assert q.route_load(b).way_known
+        before = q.stats.full_cache_accesses
+        q.on_l1_evict(set_idx=0, line_addr=999)
+        # the next access routes as a full (tag-checked) cache access ...
+        route = q.route_load(a)
+        assert not route.way_known
+        assert q.stats.full_cache_accesses == before + 1
+        # ... and re-learning the location re-pays the Table 5 location
+        # write (but not the still-cached DTLB translation)
+        e0 = q.energy.total("distrib")
+        q.record_location(a, set_idx=0, way=2)
+        assert q.energy.total("distrib") - e0 == pytest.approx(E_D["cache_line_id_rw"])
+
+    def test_flush_drops_tlb_cache_with_entries(self):
+        # a pipeline flush discards entries entirely: a re-placed access
+        # pays both the tag check and the DTLB access again
+        q = make(banks=4, sets=4)
+        a = place(q, OpClass.LOAD, 0, 0x100)
+        q.record_location(a, set_idx=0, way=0)
+        q.flush()
+        a2 = place(q, OpClass.LOAD, 1, 0x100)
+        route = q.route_load(a2)
+        assert not route.way_known and not route.skip_tlb
+
+
 class TestDeadlockAndRelease:
     def test_head_blocked_true_when_no_room(self):
         q = make(shared=0)

@@ -1,103 +1,93 @@
 """Property-based tests: OoO execution preserves sequential memory semantics.
 
-Hypothesis generates random little programs (stores/loads/ALU/branch mix
-over a small address pool, random dependences and sizes); every LSQ model
-must produce load values identical to in-order execution, and the three
-designs must commit the same instruction stream.
+The program generator and golden oracle live in ``repro.verify`` (shared
+with the ``repro verify`` campaign CLI); Hypothesis drives seeds and
+stress profiles through the same machinery, so a failure here is
+replayable with ``repro verify --replay SEED --profile PROFILE``.  Every
+LSQ model -- conventional (bounded and tiny), ARB (default and tiny
+geometry) and SAMIE (Table 3 and extreme-pressure geometry) -- must
+commit the whole program, observe in-order load values, and leave the
+in-order final memory image.
 """
 
 from __future__ import annotations
 
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.core.config import ProcessorConfig
-from repro.core.processor import run_simulation
-from repro.isa.opclasses import OpClass
-from repro.isa.uop import UOp
-from repro.lsq.samie import SamieConfig, SamieLSQ
+from repro.verify import oracle
+from repro.verify.diff import GeometryPoint, compare_outcome, default_grid, run_model
+from repro.verify.fuzz import PROFILE_NAMES, generate_program
 
-ADDR_POOL = [0x1000 + 8 * i for i in range(16)]  # two cache lines
-SIZES = [1, 2, 4, 8]
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+profiles = st.sampled_from(PROFILE_NAMES)
 
-
-@st.composite
-def programs(draw):
-    n = draw(st.integers(min_value=20, max_value=120))
-    ops = []
-    for seq in range(n):
-        kind = draw(st.sampled_from(["load", "store", "alu", "branch"]))
-        if kind in ("load", "store"):
-            size = draw(st.sampled_from(SIZES))
-            slot = draw(st.integers(min_value=0, max_value=len(ADDR_POOL) - 1))
-            addr = ADDR_POOL[slot]
-            # offset within the 8-byte word, aligned to size
-            off = draw(st.integers(min_value=0, max_value=(8 - size) // size)) * size
-            op = OpClass.LOAD if kind == "load" else OpClass.STORE
-            ops.append(
-                UOp(seq, 0x400000 + 4 * (seq % 64), op,
-                    src1=draw(st.integers(min_value=0, max_value=8)),
-                    src2=draw(st.integers(min_value=0, max_value=8)),
-                    addr=addr + off, size=size)
-            )
-        elif kind == "alu":
-            cls = draw(st.sampled_from([OpClass.INT_ALU, OpClass.INT_MULT, OpClass.FP_ALU]))
-            ops.append(UOp(seq, 0x400000 + 4 * (seq % 64), cls,
-                           src1=draw(st.integers(min_value=0, max_value=8))))
-        else:
-            taken = draw(st.booleans())
-            ops.append(UOp(seq, 0x400000 + 4 * (seq % 64), OpClass.BRANCH,
-                           taken=taken, target=0x400000 if taken else 0))
-    return ops
+# the campaign grid is the single source of truth for geometries
+_GRID = {p.name: p for p in default_grid()}
+CONVENTIONAL = _GRID["conventional-128"]
+CONVENTIONAL_TINY = _GRID["conventional-16"]
+ARB = _GRID["arb-8x16"]
+ARB_TINY = _GRID["arb-2x4"]
+SAMIE = _GRID["samie-table3"]
+SAMIE_TINY = _GRID["samie-tiny"]
+# the ideal reference machine is not part of the campaign grid
+UNBOUNDED = GeometryPoint("unbounded", "conventional", (("capacity", None),))
 
 
-def run_program(ops, lsq, **lsq_kwargs):
-    cfg = ProcessorConfig(track_data=True)
-    return run_simulation(iter(ops), lsq=lsq, cfg=cfg,
-                          max_instructions=len(ops), **lsq_kwargs)
-
-
-@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
-@given(programs())
-def test_conventional_preserves_memory_semantics(ops):
-    r = run_program(ops, "conventional")
-    assert r.data_violations == 0
-    assert r.instructions == len(ops)
-
-
-@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
-@given(programs())
-def test_samie_preserves_memory_semantics(ops):
-    r = run_program(ops, "samie")
-    assert r.data_violations == 0
-    assert r.instructions == len(ops)
-
-
-@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
-@given(programs())
-def test_tiny_samie_preserves_memory_semantics(ops):
-    """Extreme pressure: 4 banks x 1 entry x 2 slots, 1 shared, 4 buffer."""
-    lsq = SamieLSQ(
-        SamieConfig(banks=4, entries_per_bank=1, slots_per_entry=2,
-                    shared_entries=1, addr_buffer_slots=4, l1d_sets=64)
+def check_conformance(point: GeometryPoint, seed: int, profile: str) -> None:
+    ops = generate_program(seed, profile)
+    golden = oracle.execute(ops)
+    out = run_model(ops, point)
+    mismatch = compare_outcome(out, golden, len(ops))
+    assert mismatch is None, (
+        f"{point.name} diverged on seed={seed} profile={profile}: {mismatch}"
     )
-    r = run_program(ops, lsq)
-    assert r.data_violations == 0
-    assert r.instructions == len(ops)
 
 
-@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
-@given(programs())
-def test_arb_preserves_memory_semantics(ops):
-    r = run_program(ops, "arb")
-    assert r.data_violations == 0
-    assert r.instructions == len(ops)
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seeds, profiles)
+def test_conventional_preserves_memory_semantics(seed, profile):
+    check_conformance(CONVENTIONAL, seed, profile)
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seeds, profiles)
+def test_tiny_conventional_preserves_memory_semantics(seed, profile):
+    """Capacity pressure: dispatch stalls on a 16-entry queue."""
+    check_conformance(CONVENTIONAL_TINY, seed, profile)
 
 
 @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
-@given(programs())
-def test_all_models_commit_same_count(ops):
+@given(seeds, profiles)
+def test_arb_preserves_memory_semantics(seed, profile):
+    check_conformance(ARB, seed, profile)
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seeds, profiles)
+def test_tiny_arb_preserves_memory_semantics(seed, profile):
+    """Row exhaustion and placement waits: 2 banks x 4 addresses."""
+    check_conformance(ARB_TINY, seed, profile)
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seeds, profiles)
+def test_samie_preserves_memory_semantics(seed, profile):
+    check_conformance(SAMIE, seed, profile)
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seeds, profiles)
+def test_tiny_samie_preserves_memory_semantics(seed, profile):
+    """Extreme pressure: 4 banks x 1 entry x 2 slots, 1 shared, 4 buffer."""
+    check_conformance(SAMIE_TINY, seed, profile)
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seeds, profiles)
+def test_all_models_commit_same_count(seed, profile):
+    ops = generate_program(seed, profile)
     counts = {
-        name: run_program(ops, name).instructions
-        for name in ("conventional", "unbounded", "samie")
+        p.name: run_model(ops, p).committed
+        for p in (CONVENTIONAL, UNBOUNDED, SAMIE)
     }
-    assert len(set(counts.values())) == 1
+    assert len(set(counts.values())) == 1, counts

@@ -63,6 +63,31 @@ class TestRunOne:
         c = run_one("gzip", conventional_baseline, "conv128", 800, 100)
         assert c is not a
 
+    def test_memoisation_key_includes_cfg(self):
+        from repro.core.config import ProcessorConfig
+        from repro.mem.hierarchy import MemConfig
+
+        clear_cache()
+        base = run_one("gzip", samie_default, "samie", 400, 100)
+        fast = run_one("gzip", samie_default, "samie", 400, 100,
+                       cfg=ProcessorConfig(mem=MemConfig(fast_way_hit_latency=1)))
+        assert base is not fast
+
+    def test_env_scale_read_per_call(self, monkeypatch):
+        from repro.experiments import runner
+
+        clear_cache()
+        monkeypatch.setenv("REPRO_INSTR", "300")
+        monkeypatch.setenv("REPRO_WARMUP", "50")
+        runner.ensure_scale_coherent()
+        a = run_one("gzip", conventional_baseline, "conv128")
+        assert 300 <= a.instructions < 310  # commit-width overshoot only
+        monkeypatch.setenv("REPRO_INSTR", "500")
+        runner.ensure_scale_coherent()  # scale changed: memo dropped
+        b = run_one("gzip", conventional_baseline, "conv128")
+        assert 500 <= b.instructions < 510
+        clear_cache()
+
 
 class TestCalibration:
     def test_residuals_shape(self):
