@@ -1,23 +1,24 @@
 """Ablation: DistribLSQ geometry (banks x entries/bank), section 3.5."""
 
-from repro.experiments.runner import run_one
-from repro.lsq.samie import SamieConfig, SamieLSQ
+from repro.experiments.runner import SimSpec, jobs_from_env, lsq_spec, run_many
 
 WORKLOADS = ["ammp", "swim", "gcc"]
 GEOMETRIES = [(16, 8), (32, 4), (64, 2), (128, 1)]
 
 
 def sweep():
+    machines = [
+        (f"samie-{banks}x{entries}", lsq_spec("samie", banks=banks, entries_per_bank=entries))
+        for banks, entries in GEOMETRIES
+    ]
+    specs = [SimSpec.make(w, m, seed=1) for m in machines for w in WORKLOADS]
+    results = run_many(specs, jobs=jobs_from_env())
     rows = []
-    for banks, entries in GEOMETRIES:
-        for w in WORKLOADS:
-            def factory(b=banks, e=entries):
-                return SamieLSQ(SamieConfig(banks=b, entries_per_bank=e))
-            r = run_one(w, factory, f"samie-{banks}x{entries}")
-            comparisons = r.lsq_stats["addr_comparisons"]
-            rows.append((f"{banks}x{entries}", w, r.ipc,
-                         comparisons / max(1, r.lsq_stats["placed"]),
-                         1e6 * r.deadlock_flushes / r.cycles))
+    for s, r in zip(specs, results):
+        comparisons = r.lsq_stats["addr_comparisons"]
+        rows.append((s.machine_key.removeprefix("samie-"), s.workload, r.ipc,
+                     comparisons / max(1, r.lsq_stats["placed"]),
+                     1e6 * r.deadlock_flushes / r.cycles))
     return rows
 
 

@@ -7,21 +7,23 @@ left on the table.
 """
 
 from repro.core.config import ProcessorConfig
-from repro.experiments.runner import run_one, samie_default
+from repro.experiments.runner import MACHINE_SAMIE, SimSpec, jobs_from_env, run_many
 from repro.mem.hierarchy import MemConfig
 
 WORKLOADS = ["swim", "art", "gzip", "mcf"]
 
 
 def sweep():
-    rows = []
-    for w in WORKLOADS:
-        base = run_one(w, samie_default, "samie")
-        cfg = ProcessorConfig(mem=MemConfig(fast_way_hit_latency=1))
-        fast = run_one(w, samie_default, "samie-fastway",
-                       cfg=cfg)
-        rows.append((w, base.ipc, fast.ipc, 100.0 * (fast.ipc / base.ipc - 1.0)))
-    return rows
+    fast_cfg = ProcessorConfig(mem=MemConfig(fast_way_hit_latency=1))
+    fast_machine = ("samie-fastway", MACHINE_SAMIE[1])
+    specs = [SimSpec.make(w, MACHINE_SAMIE, seed=1) for w in WORKLOADS]
+    specs += [SimSpec.make(w, fast_machine, seed=1, cfg=fast_cfg) for w in WORKLOADS]
+    results = run_many(specs, jobs=jobs_from_env())
+    base, fast = results[: len(WORKLOADS)], results[len(WORKLOADS):]
+    return [
+        (w, b.ipc, f.ipc, 100.0 * (f.ipc / b.ipc - 1.0))
+        for w, b, f in zip(WORKLOADS, base, fast)
+    ]
 
 
 def test_ablation_fastway(benchmark):

@@ -1,22 +1,23 @@
 """Ablation: SharedLSQ size 0..16 (paper section 3.5 / Figure 4 choice)."""
 
-from repro.experiments.runner import run_one
-from repro.lsq.samie import SamieConfig, SamieLSQ
+from repro.experiments.runner import SimSpec, jobs_from_env, lsq_spec, run_many
 
 WORKLOADS = ["ammp", "apsi", "gzip"]
 SIZES = [0, 4, 8, 16]
 
 
 def sweep():
-    rows = []
-    for shared in SIZES:
-        for w in WORKLOADS:
-            def factory(s=shared):
-                return SamieLSQ(SamieConfig(shared_entries=s))
-            r = run_one(w, factory, f"samie-shared{shared}")
-            rows.append((shared, w, r.ipc, 1e6 * r.deadlock_flushes / r.cycles,
-                         r.addr_buffer_busy_frac))
-    return rows
+    machines = [
+        (f"samie-shared{shared}", lsq_spec("samie", shared_entries=shared))
+        for shared in SIZES
+    ]
+    specs = [SimSpec.make(w, m, seed=1) for m in machines for w in WORKLOADS]
+    results = run_many(specs, jobs=jobs_from_env())
+    return [
+        (int(s.machine_key.removeprefix("samie-shared")), s.workload, r.ipc,
+         1e6 * r.deadlock_flushes / r.cycles, r.addr_buffer_busy_frac)
+        for s, r in zip(specs, results)
+    ]
 
 
 def test_ablation_shared(benchmark):

@@ -5,27 +5,26 @@ but cost leakage area; fewer slots push sharing pressure into extra
 entries.  The paper picks 8.
 """
 
-import pytest
-
-from repro.experiments.runner import run_one
-from repro.lsq.samie import SamieConfig, SamieLSQ
+from repro.experiments.runner import SimSpec, jobs_from_env, lsq_spec, run_many
 
 WORKLOADS = ["swim", "gzip", "ammp"]
 SLOTS = [2, 4, 8, 16]
 
 
 def sweep():
-    rows = []
-    for slots in SLOTS:
-        for w in WORKLOADS:
-            def factory(s=slots):
-                return SamieLSQ(SamieConfig(slots_per_entry=s))
-            r = run_one(w, factory, f"samie-slots{slots}")
-            rows.append((slots, w, r.ipc,
-                         sum(r.lsq_energy_pj.values()) / r.instructions,
-                         r.lsq_stats["way_known_accesses"],
-                         sum(r.area_um2_cycles.values()) / r.cycles))
-    return rows
+    machines = [
+        (f"samie-slots{slots}", lsq_spec("samie", slots_per_entry=slots))
+        for slots in SLOTS
+    ]
+    specs = [SimSpec.make(w, m, seed=1) for m in machines for w in WORKLOADS]
+    results = run_many(specs, jobs=jobs_from_env())
+    return [
+        (int(s.machine_key.removeprefix("samie-slots")), s.workload, r.ipc,
+         sum(r.lsq_energy_pj.values()) / r.instructions,
+         r.lsq_stats["way_known_accesses"],
+         sum(r.area_um2_cycles.values()) / r.cycles)
+        for s, r in zip(specs, results)
+    ]
 
 
 def test_ablation_slots(benchmark):

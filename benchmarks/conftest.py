@@ -6,6 +6,12 @@ the end-to-end regeneration cost; the simulation runner memoises results
 within the session, so artefacts that share a sweep (Figures 5-12) pay
 for it once.
 
+Parallelism: set ``REPRO_JOBS=N`` to fan every artefact's simulation
+batch out over N worker processes (0 = one per core); results are
+bit-identical to the serial run.  The on-disk result cache is disabled
+here by default (set ``REPRO_CACHE=1`` to re-enable it) so the benches
+measure simulation cost, not cache reads from an earlier session.
+
 Scale: the paper simulates 100M instructions per benchmark; these benches
 default to ``REPRO_INSTR``/``REPRO_WARMUP`` (6000/3000) instructions so
 the whole suite regenerates in minutes on a laptop.  Raise the env vars
@@ -14,9 +20,18 @@ for higher fidelity.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.experiments import runner
+
+os.environ.setdefault("REPRO_CACHE", "0")
+
+
+def bench_jobs() -> int:
+    """Worker processes for benchmark sweeps (``REPRO_JOBS``, default 1)."""
+    return runner.jobs_from_env()
 
 
 @pytest.fixture(autouse=True)
@@ -34,9 +49,14 @@ def _scale_guard():
 
 @pytest.fixture
 def regen(benchmark):
-    """Run an artefact generator once under pytest-benchmark and print it."""
+    """Run an artefact generator once under pytest-benchmark and print it.
+
+    ``REPRO_JOBS`` is threaded into the driver's ``jobs`` argument unless
+    the bench passes one explicitly.
+    """
 
     def _run(compute, *args, **kwargs):
+        kwargs.setdefault("jobs", bench_jobs())
         result = benchmark.pedantic(
             lambda: compute(*args, **kwargs), rounds=1, iterations=1, warmup_rounds=0
         )

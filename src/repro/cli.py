@@ -3,7 +3,9 @@
 Subcommands:
 
 * ``list``                 -- available workloads and experiments
-* ``run WORKLOAD``         -- simulate one workload on one LSQ design
+* ``run WORKLOAD...``      -- simulate one or more workloads on one LSQ
+                              design (``--jobs N`` fans the batch out
+                              over a process pool)
 * ``figure ID``            -- regenerate one paper artefact (figure1,
                               figure3..figure12, table1)
 * ``all``                  -- regenerate every artefact
@@ -12,6 +14,13 @@ Subcommands:
                               geometry grid, checked against the golden
                               in-order oracle (the pre-merge gate is
                               ``repro verify --programs 500 --jobs 8``)
+
+``run``, ``figure`` and ``all`` accept ``--jobs N`` (0 = one worker per
+core); uncached simulations fan out over a ``ProcessPoolExecutor`` with
+results bit-identical to the serial path.  Completed simulations are also
+persisted to an on-disk JSON cache (``~/.cache/samie-repro``, override
+with ``REPRO_CACHE_DIR``), so a second invocation at the same scale is
+served from disk; ``--no-cache`` (or ``REPRO_CACHE=0``) disables it.
 """
 
 from __future__ import annotations
@@ -20,34 +29,54 @@ import argparse
 import importlib
 import sys
 
-from repro.core.processor import run_simulation
-from repro.workloads.registry import list_workloads, make_trace
 
 EXPERIMENTS = [
     "figure1", "figure3", "figure4", "figure5", "figure6", "figure7",
     "figure8", "figure9", "figure10", "figure11", "figure12", "table1",
 ]
 
+#: ``run --lsq`` choice -> canonical machine (machine_key, lsq_spec)
+def _run_machine(name: str):
+    from repro.experiments import runner
+
+    return {
+        "conventional": runner.MACHINE_CONV128,
+        "unbounded": runner.MACHINE_UNBOUNDED,
+        "samie": runner.MACHINE_SAMIE,
+        "arb": ("arb-default", runner.lsq_spec("arb")),
+    }[name]
+
 
 def _cmd_list(_: argparse.Namespace) -> int:
+    from repro.workloads.registry import list_workloads
+
     print("workloads:", ", ".join(list_workloads()))
     print("experiments:", ", ".join(EXPERIMENTS))
     return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    res = run_simulation(
-        make_trace(args.workload, args.seed),
-        lsq=args.lsq,
-        max_instructions=args.instructions,
-        warmup=args.warmup,
-    )
-    print(f"workload={args.workload} lsq={res.lsq_name}")
-    print(f"  instructions={res.instructions} cycles={res.cycles} ipc={res.ipc:.3f}")
-    print(f"  mispredict_rate={res.mispredict_rate:.3f} l1d_miss={res.l1d_miss_rate:.3f} dtlb_miss={res.dtlb_miss_rate:.3f}")
-    print(f"  lsq_energy={res.lsq_energy_total_pj / 1e3:.1f} nJ  deadlock_flushes={res.deadlock_flushes}")
-    for cat, pj in sorted(res.lsq_energy_pj.items()):
-        print(f"    {cat}: {pj / 1e3:.1f} nJ")
+    from repro.experiments.runner import SimSpec, run_many
+
+    machine = _run_machine(args.lsq)
+    specs = [
+        SimSpec.make(w, machine, args.instructions, args.warmup, args.seed)
+        for w in args.workload
+    ]
+    results = run_many(specs, jobs=args.jobs)
+    for w, res in zip(args.workload, results):
+        print(f"workload={w} lsq={res.lsq_name}")
+        print(f"  instructions={res.instructions} cycles={res.cycles} ipc={res.ipc:.3f}")
+        print(
+            f"  mispredict_rate={res.mispredict_rate:.3f} "
+            f"l1d_miss={res.l1d_miss_rate:.3f} dtlb_miss={res.dtlb_miss_rate:.3f}"
+        )
+        print(
+            f"  lsq_energy={res.lsq_energy_total_pj / 1e3:.1f} nJ  "
+            f"deadlock_flushes={res.deadlock_flushes}"
+        )
+        for cat, pj in sorted(res.lsq_energy_pj.items()):
+            print(f"    {cat}: {pj / 1e3:.1f} nJ")
     return 0
 
 
@@ -69,7 +98,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         print(f"unknown experiment {args.id!r}; choose from {EXPERIMENTS}", file=sys.stderr)
         return 2
     mod = importlib.import_module(f"repro.experiments.{args.id}")
-    result = mod.compute()
+    result = mod.compute(jobs=args.jobs)
     print(result.to_text())
     if args.id in _BAR_COLUMNS:
         from repro.experiments.report import bar_chart
@@ -89,22 +118,17 @@ def _cmd_all(args: argparse.Namespace) -> int:
         os.makedirs(out_dir, exist_ok=True)
     for exp in EXPERIMENTS:
         mod = importlib.import_module(f"repro.experiments.{exp}")
-        result = mod.compute()
+        result = mod.compute(jobs=args.jobs)
         text = result.to_text()
         print(text)
         print()
         if out_dir:
-            import json
             import os
 
             with open(os.path.join(out_dir, f"{exp}.txt"), "w") as fh:
                 fh.write(text + "\n")
             with open(os.path.join(out_dir, f"{exp}.json"), "w") as fh:
-                json.dump(
-                    {"columns": result.columns, "rows": result.rows,
-                     "summary": result.summary},
-                    fh, indent=2,
-                )
+                fh.write(result.to_json() + "\n")
     return 0
 
 
@@ -127,7 +151,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         if div is None:
             print(f"replay seed={spec.seed} profile={spec.profile}: no divergence "
                   f"({len(grid)} geometry points)")
-            if fault != "none":
+            if fault != "none" and not args.no_selftest:
                 # same convention as campaign self-tests: an injected fault
                 # that goes undetected is the failure
                 print("self-test FAILED: injected fault produced no divergence")
@@ -140,7 +164,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         print(f"  minimized to {div.minimized_len} ops (from {div.program_len})")
         for t in div.minimized_program:
             print(f"    {t}")
-        if fault != "none":
+        if fault != "none" and not args.no_selftest:
             print("self-test ok: injected fault was detected")
             return 0
         return 1
@@ -160,8 +184,10 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         with open(args.json, "w") as fh:
             fh.write(report.to_json() + "\n")
         print(f"report written to {args.json}")
-    # An injected fault is a self-test: finding the bug is the pass.
-    if fault != "none":
+    # An injected fault is a self-test: finding the bug is the pass --
+    # unless --no-selftest asked for the raw gate exit code (CI asserts
+    # the gate goes red on an injected bug).
+    if fault != "none" and not args.no_selftest:
         if report.ok:
             print("self-test FAILED: injected fault produced no divergence")
             return 1
@@ -177,20 +203,31 @@ def main(argv: list[str] | None = None) -> int:
 
     sub.add_parser("list", help="list workloads and experiments").set_defaults(fn=_cmd_list)
 
-    run_p = sub.add_parser("run", help="simulate one workload")
-    run_p.add_argument("workload")
-    run_p.add_argument("--lsq", default="samie", choices=["conventional", "unbounded", "samie", "arb"])
+    def add_sweep_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--jobs", type=int, default=1,
+                       help="parallel simulation workers (0 = one per core)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="disable the on-disk result cache (REPRO_CACHE=0)")
+
+    run_p = sub.add_parser("run", help="simulate one or more workloads")
+    run_p.add_argument("workload", nargs="+")
+    run_p.add_argument("--lsq", default="samie",
+                       choices=["conventional", "unbounded", "samie", "arb"])
     run_p.add_argument("--instructions", type=int, default=20000)
     run_p.add_argument("--warmup", type=int, default=5000)
     run_p.add_argument("--seed", type=int, default=1)
+    add_sweep_flags(run_p)
     run_p.set_defaults(fn=_cmd_run)
 
     fig_p = sub.add_parser("figure", help="regenerate one paper artefact")
     fig_p.add_argument("id")
+    add_sweep_flags(fig_p)
     fig_p.set_defaults(fn=_cmd_figure)
 
     all_p = sub.add_parser("all", help="regenerate every artefact")
-    all_p.add_argument("--out", default=None, help="also write per-artefact .txt/.json files here")
+    all_p.add_argument("--out", default=None,
+                       help="also write per-artefact .txt/.json files here")
+    add_sweep_flags(all_p)
     all_p.set_defaults(fn=_cmd_all)
 
     from repro.verify.diff import FAULTS
@@ -211,6 +248,10 @@ def main(argv: list[str] | None = None) -> int:
                        help="restrict fuzzing to one stress profile")
     ver_p.add_argument("--inject-bug", default="none", choices=list(FAULTS),
                        help="self-test: break the models and require detection")
+    ver_p.add_argument("--no-selftest", action="store_true",
+                       help="with --inject-bug, keep the raw gate exit code "
+                            "(non-zero on divergence) instead of self-test "
+                            "semantics; CI uses this to assert the gate fails")
     ver_p.add_argument("--replay", type=int, default=None, metavar="SEED",
                        help="re-check one program by seed (with --profile)")
     ver_p.add_argument("--no-minimize", action="store_true",
@@ -220,6 +261,20 @@ def main(argv: list[str] | None = None) -> int:
     ver_p.set_defaults(fn=_cmd_verify)
 
     args = parser.parse_args(argv)
+    if getattr(args, "no_cache", False):
+        # scope the disk-cache override to this command: a library caller
+        # invoking main() twice must not inherit a stale REPRO_CACHE=0
+        import os
+
+        saved = os.environ.get("REPRO_CACHE")
+        os.environ["REPRO_CACHE"] = "0"
+        try:
+            return args.fn(args)
+        finally:
+            if saved is None:
+                os.environ.pop("REPRO_CACHE", None)
+            else:
+                os.environ["REPRO_CACHE"] = saved
     return args.fn(args)
 
 

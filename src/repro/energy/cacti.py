@@ -25,7 +25,7 @@ Multi-porting grows cell pitch, lengthening word/bit lines; this is the
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

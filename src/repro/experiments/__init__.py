@@ -1,30 +1,60 @@
 """Experiment drivers: one module per paper figure/table.
 
-Every driver exposes ``compute(...) -> FigureResult`` returning the same
-rows/series the paper reports, plus a ``main()`` for CLI use.  Runs are
-memoised per (workload, machine, scale) within the process so that the
-figure drivers sharing the same underlying simulations (Figures 5-12 all
-use one conventional-vs-SAMIE sweep) do not repeat work.
+Every driver exposes ``compute(..., jobs=N) -> FigureResult`` returning
+the same rows/series the paper reports, plus a ``main()`` for CLI use.
+Drivers build :class:`~repro.experiments.runner.SimSpec` batches and hand
+them to :func:`~repro.experiments.runner.run_many`, which memoises per
+(workload, machine, scale, seed, config) within the process, persists
+results to an optional on-disk JSON cache, and fans uncached specs out
+over a process pool when ``jobs > 1`` (Figures 5-12 all share one
+conventional-vs-SAMIE sweep, simulated once per session).
 """
 
+from repro.experiments.report import FigureResult, format_table, geomean
 from repro.experiments.runner import (
-    DEFAULT_INSTRUCTIONS,
-    DEFAULT_WARMUP,
+    MACHINE_CONV128,
+    MACHINE_SAMIE,
+    MACHINE_UNBOUNDED,
     REPRESENTATIVE_WORKLOADS,
+    SimSpec,
+    lsq_spec,
+    machine_arb,
+    machine_samie_unbounded_shared,
+    run_many,
     run_one,
     run_pair,
+    run_spec,
     suite_pairs,
+    sweep,
 )
-from repro.experiments.report import FigureResult, format_table, geomean
 
 __all__ = [
     "DEFAULT_INSTRUCTIONS",
     "DEFAULT_WARMUP",
+    "MACHINE_CONV128",
+    "MACHINE_SAMIE",
+    "MACHINE_UNBOUNDED",
     "REPRESENTATIVE_WORKLOADS",
+    "SimSpec",
+    "lsq_spec",
+    "machine_arb",
+    "machine_samie_unbounded_shared",
+    "run_many",
     "run_one",
     "run_pair",
+    "run_spec",
     "suite_pairs",
+    "sweep",
     "FigureResult",
     "format_table",
     "geomean",
 ]
+
+
+def __getattr__(name: str):
+    # live views of the environment scale (see runner.current_scale)
+    if name in ("DEFAULT_INSTRUCTIONS", "DEFAULT_WARMUP"):
+        from repro.experiments import runner
+
+        return getattr(runner, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

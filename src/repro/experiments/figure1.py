@@ -5,16 +5,21 @@ the paper's "half number of addresses" variant, reporting mean IPC as a
 percentage of the unbounded-LSQ machine.  The paper's qualitative result:
 performance collapses as banking grows (64x2 loses ~28% IPC) and halving
 the addresses costs ~16% even for the fully-associative configuration.
+
+The whole sweep -- reference machine plus two series per geometry, per
+workload -- is submitted as one ``run_many`` batch, so ``jobs > 1`` fans
+it out over the process pool.
 """
 
 from __future__ import annotations
 
 from repro.experiments.report import FigureResult
 from repro.experiments.runner import (
+    MACHINE_UNBOUNDED,
     REPRESENTATIVE_WORKLOADS,
-    arb_machine,
-    run_one,
-    unbounded_lsq,
+    SimSpec,
+    machine_arb,
+    run_many,
 )
 
 #: the paper's x-axis: (banks, addresses per bank)
@@ -26,22 +31,34 @@ def compute(
     instructions: int | None = None,
     warmup: int | None = None,
     configs: list[tuple[int, int]] | None = None,
+    jobs: int | None = 1,
 ) -> FigureResult:
     """Regenerate Figure 1 (mean over ``workloads``)."""
     names = workloads if workloads is not None else REPRESENTATIVE_WORKLOADS
     sweep = configs if configs is not None else ARB_CONFIGS
-    ref = {
-        w: run_one(w, unbounded_lsq, "unbounded", instructions, warmup).ipc for w in names
-    }
-    rows = []
+    machines = [MACHINE_UNBOUNDED]
     for banks, addrs in sweep:
-        pct = _mean_relative(names, ref, banks, addrs, instructions, warmup)
+        machines.append(machine_arb(banks, addrs, 128))
         # the paper's "half" series halves the allowed in-flight memory
         # instructions (for 1x128 this is "1 bank with 64 addresses")
-        half = _mean_relative(
-            names, ref, banks, max(1, addrs // 2), instructions, warmup,
-            tag="half", max_inflight=64,
+        machines.append(machine_arb(banks, max(1, addrs // 2), 64, tag="half"))
+    specs = [SimSpec.make(w, m, instructions, warmup) for m in machines for w in names]
+    ipc = {
+        (s.workload, s.machine_key): r.ipc
+        for s, r in zip(specs, run_many(specs, jobs=jobs))
+    }
+    ref = {w: ipc[(w, MACHINE_UNBOUNDED[0])] for w in names}
+
+    def mean_relative(machine_key: str) -> float:
+        total = sum(
+            (ipc[(w, machine_key)] / ref[w] if ref[w] else 0.0) for w in names
         )
+        return total / len(names)
+
+    rows = []
+    for banks, addrs in sweep:
+        pct = mean_relative(machine_arb(banks, addrs, 128)[0])
+        half = mean_relative(machine_arb(banks, max(1, addrs // 2), 64, tag="half")[0])
         rows.append([f"{banks}x{addrs}", 100.0 * pct, 100.0 * half])
     summary = {
         "pct_64x2": rows[sweep.index((64, 2))][1] if (64, 2) in sweep else 0.0,
@@ -57,22 +74,6 @@ def compute(
         summary=summary,
         notes=f"mean over {len(names)} workloads",
     )
-
-
-def _mean_relative(
-    names, ref, banks, addrs, instructions, warmup, tag="", max_inflight=128
-) -> float:
-    total = 0.0
-    for w in names:
-        res = run_one(
-            w,
-            arb_machine(banks, addrs, max_inflight),
-            f"arb{tag}-{banks}x{addrs}",
-            instructions,
-            warmup,
-        )
-        total += res.ipc / ref[w] if ref[w] else 0.0
-    return total / len(names)
 
 
 def main() -> None:  # pragma: no cover - CLI entry

@@ -17,9 +17,10 @@ def compute(
     workloads: list[str] | None = None,
     instructions: int | None = None,
     warmup: int | None = None,
+    jobs: int | None = 1,
 ) -> FigureResult:
     """Regenerate Figure 11 (um^2 x cycles per committed instruction)."""
-    pairs = suite_pairs(workloads, instructions, warmup)
+    pairs = suite_pairs(workloads, instructions, warmup, jobs=jobs)
     rows = []
     total_base = 0.0
     total_samie = 0.0

@@ -18,9 +18,10 @@ def compute(
     workloads: list[str] | None = None,
     instructions: int | None = None,
     warmup: int | None = None,
+    jobs: int | None = 1,
 ) -> FigureResult:
     """Regenerate Figure 12 (percent shares)."""
-    pairs = suite_pairs(workloads, instructions, warmup)
+    pairs = suite_pairs(workloads, instructions, warmup, jobs=jobs)
     rows = []
     shared_share = {}
     for w, (_, samie) in pairs.items():

@@ -10,7 +10,7 @@ than 32x4, motivating the 64x2 choice.
 from __future__ import annotations
 
 from repro.experiments.report import FigureResult
-from repro.experiments.runner import run_one, samie_unbounded_shared
+from repro.experiments.runner import SimSpec, machine_samie_unbounded_shared, run_many
 from repro.workloads.spec2000 import SPEC2000_PROFILES
 
 #: DistribLSQ geometries compared in the paper (banks, entries/bank)
@@ -21,23 +21,24 @@ def compute(
     workloads: list[str] | None = None,
     instructions: int | None = None,
     warmup: int | None = None,
+    jobs: int | None = 1,
 ) -> FigureResult:
-    """Regenerate Figure 3."""
+    """Regenerate Figure 3 (one batched workload x geometry sweep)."""
     names = workloads if workloads is not None else sorted(SPEC2000_PROFILES)
+    machines = [machine_samie_unbounded_shared(b, e) for b, e in GEOMETRIES]
+    specs = [SimSpec.make(w, m, instructions, warmup) for w in names for m in machines]
+    results = run_many(specs, jobs=jobs)
+    occ = {
+        (s.workload, s.machine_key): r.shared_occupancy_mean
+        for s, r in zip(specs, results)
+    }
     rows = []
     means = {g: [] for g in GEOMETRIES}
     for w in names:
         row: list = [w]
-        for banks, entries in GEOMETRIES:
-            res = run_one(
-                w,
-                samie_unbounded_shared(banks, entries),
-                f"samie-unb-{banks}x{entries}",
-                instructions,
-                warmup,
-            )
-            row.append(res.shared_occupancy_mean)
-            means[(banks, entries)].append(res.shared_occupancy_mean)
+        for (banks, entries), (mkey, _) in zip(GEOMETRIES, machines):
+            row.append(occ[(w, mkey)])
+            means[(banks, entries)].append(occ[(w, mkey)])
         rows.append(row)
     avg = ["SPEC"] + [sum(means[g]) / len(means[g]) for g in GEOMETRIES]
     rows.append(avg)

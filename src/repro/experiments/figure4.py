@@ -11,7 +11,7 @@ entries, 21 need <=8, 22 need <=12 (hence the 8-entry choice).
 from __future__ import annotations
 
 from repro.experiments.report import FigureResult
-from repro.experiments.runner import run_one, samie_unbounded_shared
+from repro.experiments.runner import SimSpec, machine_samie_unbounded_shared, run_many
 from repro.workloads.spec2000 import SPEC2000_PROFILES
 
 #: SharedLSQ sizes on the paper's x-axis
@@ -22,18 +22,15 @@ def compute(
     workloads: list[str] | None = None,
     instructions: int | None = None,
     warmup: int | None = None,
+    jobs: int | None = 1,
 ) -> FigureResult:
     """Regenerate Figure 4 (cumulative program counts)."""
     names = workloads if workloads is not None else sorted(SPEC2000_PROFILES)
-    p99s: dict[str, int] = {}
-    for w in names:
-        res = run_one(
-            w, samie_unbounded_shared(64, 2), "samie-unb-64x2", instructions, warmup
-        )
-        p99s[w] = res.shared_occupancy_p99
-    rows = [
-        [n, sum(1 for v in p99s.values() if v <= n)] for n in ENTRY_STEPS
-    ]
+    machine = machine_samie_unbounded_shared(64, 2)
+    specs = [SimSpec.make(w, machine, instructions, warmup) for w in names]
+    results = run_many(specs, jobs=jobs)
+    p99s = {s.workload: r.shared_occupancy_p99 for s, r in zip(specs, results)}
+    rows = [[n, sum(1 for v in p99s.values() if v <= n)] for n in ENTRY_STEPS]
     count_at = dict(rows)
     summary = {
         "programs_at_4": count_at.get(4, 0),

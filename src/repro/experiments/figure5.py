@@ -16,9 +16,10 @@ def compute(
     workloads: list[str] | None = None,
     instructions: int | None = None,
     warmup: int | None = None,
+    jobs: int | None = 1,
 ) -> FigureResult:
     """Regenerate Figure 5."""
-    pairs = suite_pairs(workloads, instructions, warmup)
+    pairs = suite_pairs(workloads, instructions, warmup, jobs=jobs)
     rows = []
     losses = []
     worst = ("", -1e9)

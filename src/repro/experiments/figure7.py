@@ -16,9 +16,10 @@ def compute(
     workloads: list[str] | None = None,
     instructions: int | None = None,
     warmup: int | None = None,
+    jobs: int | None = 1,
 ) -> FigureResult:
     """Regenerate Figure 7."""
-    pairs = suite_pairs(workloads, instructions, warmup)
+    pairs = suite_pairs(workloads, instructions, warmup, jobs=jobs)
     rows = []
     savings = []
     for w, (base, samie) in pairs.items():

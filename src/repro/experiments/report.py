@@ -36,6 +36,22 @@ class FigureResult:
         i = self.columns.index(name)
         return [r[i] for r in self.rows]
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable snapshot (the ``repro all --out`` artefact)."""
+        return {
+            "figure_id": self.figure_id,
+            "title": self.title,
+            "columns": self.columns,
+            "rows": self.rows,
+            "summary": self.summary,
+            "notes": self.notes,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        import json
+
+        return json.dumps(self.to_dict(), indent=indent)
+
 
 def format_table(headers: list[str], rows: list[list]) -> str:
     """Fixed-width text table (no external deps)."""
@@ -91,7 +107,7 @@ def bar_chart(
     lo = min(0.0, min(values))
     hi = max(0.0, max(values), baseline or 0.0)
     span = (hi - lo) or 1.0
-    lw = max(len(l) for l in labels)
+    lw = max(len(lab) for lab in labels)
     out = []
     for label, v in zip(labels, values):
         left = round((min(v, 0) - lo) / span * width)

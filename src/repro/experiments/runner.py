@@ -1,19 +1,40 @@
-"""Shared simulation runner for the experiment drivers.
+"""Parallel sweep engine shared by the experiment drivers.
 
-Results are memoised in-process keyed by (workload, machine-key, scale,
-seed): Figures 5 through 12 all consume the same conventional-vs-SAMIE
-sweep, so the suite is simulated once per session.
+The unit of work is a :class:`SimSpec`: a small, picklable description of
+one simulation (workload, machine, LSQ geometry, scale, seed, processor
+config).  Specs have a *stable* cache key -- a canonical JSON rendering of
+their fields, identical across processes and interpreter runs -- which
+feeds three cache layers:
+
+1. an in-process memo (``_cache``), so figure drivers sharing a sweep
+   (Figures 5-12 all consume the conventional-vs-SAMIE suite) simulate
+   each point once per session;
+2. an optional on-disk JSON cache (``REPRO_CACHE_DIR``, disable with
+   ``REPRO_CACHE=0``), so repeated ``repro figure N`` / ``repro all``
+   invocations at the same scale are instant across processes and CI
+   runs;
+3. a :func:`run_many` fan-out over ``concurrent.futures``
+   ``ProcessPoolExecutor`` (the spec -> worker -> memoised-result pattern
+   of ``repro.verify.campaign``), so full-suite regeneration scales with
+   cores while staying bit-identical to the serial path.
 
 Scale knobs: the paper simulates 100M instructions per benchmark on a
-native simulator; this pure-Python model defaults to
-``DEFAULT_INSTRUCTIONS`` per run (override with the ``REPRO_INSTR`` /
-``REPRO_WARMUP`` environment variables for higher-fidelity runs).
+native simulator; this pure-Python model defaults to 6000 instructions
+per run (override with the ``REPRO_INSTR`` / ``REPRO_WARMUP`` environment
+variables for higher-fidelity runs).  ``DEFAULT_INSTRUCTIONS`` and
+``DEFAULT_WARMUP`` are module attributes resolved *per access* from
+:func:`current_scale`, so they can never disagree with the per-call
+semantics of :func:`run_one`.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
-from typing import Callable
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass
+from typing import Callable, Iterable, Sequence
 
 from repro.core.config import ProcessorConfig
 from repro.core.pipeline import SimResult
@@ -24,6 +45,10 @@ from repro.lsq.conventional import ConventionalLSQ
 from repro.lsq.samie import SamieConfig, SamieLSQ
 from repro.workloads.registry import make_trace
 from repro.workloads.spec2000 import SPEC2000_PROFILES
+
+#: bump when SimResult/semantics change so stale disk entries are ignored
+CACHE_VERSION = 1
+
 
 def current_scale() -> tuple[int, int]:
     """(instructions, warmup) from the environment, read at call time.
@@ -38,7 +63,15 @@ def current_scale() -> tuple[int, int]:
     )
 
 
-DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP = current_scale()
+def __getattr__(name: str):
+    # DEFAULT_INSTRUCTIONS/DEFAULT_WARMUP are live views of current_scale()
+    # (an import-time snapshot would go stale when REPRO_INSTR changes)
+    if name == "DEFAULT_INSTRUCTIONS":
+        return current_scale()[0]
+    if name == "DEFAULT_WARMUP":
+        return current_scale()[1]
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 _last_scale: tuple[int, int] | None = None
 
@@ -50,13 +83,15 @@ def ensure_scale_coherent() -> None:
     per-call scale); this hook additionally evicts results computed at
     abandoned scales so a session that sweeps ``REPRO_INSTR`` does not
     accumulate one cache generation per scale.  The benchmark harness
-    calls it between tests.
+    calls it between tests.  The disk cache is left alone: persistent
+    per-scale entries are its whole point.
     """
     global _last_scale
     scale = current_scale()
     if _last_scale is not None and scale != _last_scale:
         clear_cache()
     _last_scale = scale
+
 
 #: Subset used by the expensive ARB sweep (Figure 1) at default scale.
 REPRESENTATIVE_WORKLOADS = [
@@ -68,8 +103,342 @@ _cache: dict[tuple, SimResult] = {}
 
 
 def clear_cache() -> None:
-    """Drop all memoised simulation results."""
+    """Drop all memoised simulation results (in-process layer only)."""
     _cache.clear()
+
+
+# -- declarative LSQ specs (picklable; what run_many fans out) ---------------
+
+#: (kind, ((param, value), ...)) -- small, immutable, picklable
+LSQSpec = tuple
+
+
+def lsq_spec(kind: str, **params) -> LSQSpec:
+    """Declarative LSQ description: ``("samie", (("banks", 64), ...))``."""
+    return (kind, tuple(sorted(params.items())))
+
+
+def build_lsq(spec: LSQSpec) -> BaseLSQ:
+    """Construct the LSQ model described by an :func:`lsq_spec`."""
+    kind, params = spec
+    kw = dict(params)
+    if kind == "conventional":
+        return ConventionalLSQ(capacity=kw.get("capacity", 128))
+    if kind == "samie":
+        return SamieLSQ(SamieConfig(**kw))
+    if kind == "arb":
+        return ARBLSQ(ARBConfig(**kw))
+    raise ValueError(f"unknown LSQ kind {kind!r}")
+
+
+# -- canonical machines: (machine_key, lsq_spec) pairs -----------------------
+
+#: paper baseline: 128-entry fully-associative LSQ
+MACHINE_CONV128 = ("conv128", lsq_spec("conventional", capacity=128))
+#: Figure 1 reference machine: LSQ of unbounded size
+MACHINE_UNBOUNDED = ("unbounded", lsq_spec("conventional", capacity=None))
+#: paper Table 3 SAMIE configuration
+MACHINE_SAMIE = ("samie", lsq_spec("samie"))
+
+
+def machine_samie_unbounded_shared(banks: int = 64, entries: int = 2) -> tuple[str, LSQSpec]:
+    """SAMIE with an unbounded SharedLSQ (sizing studies, Figures 3-4)."""
+    return (
+        f"samie-unb-{banks}x{entries}",
+        lsq_spec("samie", banks=banks, entries_per_bank=entries, shared_entries=None),
+    )
+
+
+def machine_arb(
+    banks: int, addresses: int, max_inflight: int = 128, tag: str = ""
+) -> tuple[str, LSQSpec]:
+    """ARB with the given geometry (Figure 1 sweep).
+
+    A non-default ``max_inflight`` is encoded in the machine key: the key
+    must uniquely name the machine (it is the cache identity).
+    """
+    key = f"arb{tag}-{banks}x{addresses}"
+    if max_inflight != 128:
+        key += f"-if{max_inflight}"
+    return (
+        key,
+        lsq_spec("arb", banks=banks, addresses_per_bank=addresses, max_inflight=max_inflight),
+    )
+
+
+def config_token(cfg: ProcessorConfig | None) -> str:
+    """Stable, cross-process identity of a processor config.
+
+    Canonical JSON over ``dataclasses.asdict`` (sorted keys, nested
+    MemConfig included) -- unlike ``repr(cfg)``, immune to field ordering,
+    dataclass repr details, and future non-repr fields.
+    """
+    if cfg is None:
+        return ""
+    return json.dumps(asdict(cfg), sort_keys=True, separators=(",", ":"), default=str)
+
+
+@dataclass(frozen=True)
+class SimSpec:
+    """One simulation work item: everything a worker process needs.
+
+    All fields are picklable; ``key`` is the stable memo/cache identity
+    (``machine_key`` is required to uniquely name the LSQ geometry, as it
+    always has for the in-process memo).
+    """
+
+    workload: str
+    machine_key: str
+    lsq: LSQSpec
+    instructions: int
+    warmup: int
+    seed: int = 1
+    cfg: ProcessorConfig | None = None
+
+    @classmethod
+    def make(
+        cls,
+        workload: str,
+        machine: tuple[str, LSQSpec],
+        instructions: int | None = None,
+        warmup: int | None = None,
+        seed: int = 1,
+        cfg: ProcessorConfig | None = None,
+    ) -> "SimSpec":
+        """Build a spec for ``machine`` at the given (or environment) scale."""
+        env_n, env_w = current_scale()
+        key, spec = machine
+        return cls(
+            workload=workload,
+            machine_key=key,
+            lsq=spec,
+            instructions=instructions if instructions is not None else env_n,
+            warmup=warmup if warmup is not None else env_w,
+            seed=seed,
+            cfg=cfg,
+        )
+
+    @property
+    def key(self) -> tuple:
+        """Stable memo key (shared with the factory-based :func:`run_one`)."""
+        return (
+            self.workload,
+            self.machine_key,
+            self.instructions,
+            self.warmup,
+            self.seed,
+            config_token(self.cfg),
+        )
+
+    @property
+    def cache_id(self) -> str:
+        """Filesystem-safe digest of :attr:`key` for the disk cache."""
+        return _cache_id(self.key)
+
+
+def _cache_id(key: tuple) -> str:
+    payload = json.dumps([CACHE_VERSION, *key], sort_keys=True)
+    return hashlib.sha1(payload.encode()).hexdigest()
+
+
+# -- disk cache --------------------------------------------------------------
+
+def cache_dir() -> str | None:
+    """Directory of the on-disk result cache, or ``None`` when disabled.
+
+    ``REPRO_CACHE=0`` disables it; ``REPRO_CACHE_DIR`` overrides the
+    default location (``~/.cache/samie-repro``).
+    """
+    if os.environ.get("REPRO_CACHE", "1") in ("0", "off", "no", ""):
+        return None
+    return os.environ.get("REPRO_CACHE_DIR") or os.path.join(
+        os.path.expanduser("~"), ".cache", "samie-repro"
+    )
+
+
+def _disk_path(key: tuple) -> str | None:
+    d = cache_dir()
+    return os.path.join(d, _cache_id(key) + ".json") if d else None
+
+
+def _disk_load(key: tuple) -> SimResult | None:
+    path = _disk_path(key)
+    if path is None or not os.path.exists(path):
+        return None
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+        if doc.get("version") != CACHE_VERSION or doc.get("key") != list(key):
+            return None
+        return SimResult.from_dict(doc["result"])
+    except (OSError, ValueError, KeyError, TypeError):
+        return None  # unreadable/corrupt entry: recompute and overwrite
+
+
+def _disk_store(key: tuple, result: SimResult) -> None:
+    path = _disk_path(key)
+    if path is None:
+        return
+    try:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = path + f".tmp{os.getpid()}"
+        with open(tmp, "w") as fh:
+            json.dump(
+                {"version": CACHE_VERSION, "key": list(key), "result": result.to_dict()},
+                fh,
+            )
+        os.replace(tmp, path)  # atomic under concurrent writers
+    except OSError:
+        pass  # cache is best-effort; the result is already in memory
+
+
+def clear_disk_cache() -> int:
+    """Remove every entry of the on-disk cache; returns entries removed."""
+    d = cache_dir()
+    if d is None or not os.path.isdir(d):
+        return 0
+    removed = 0
+    for name in os.listdir(d):
+        if name.endswith(".json"):
+            try:
+                os.remove(os.path.join(d, name))
+                removed += 1
+            except OSError:
+                pass
+    return removed
+
+
+# -- execution ---------------------------------------------------------------
+
+def run_spec(spec: SimSpec) -> SimResult:
+    """Simulate one spec, no caching (the pure worker body)."""
+    if spec.workload not in SPEC2000_PROFILES:
+        raise KeyError(f"unknown workload {spec.workload!r}")
+    pipe = build_processor(build_lsq(spec.lsq), spec.cfg)
+    pipe.attach_trace(make_trace(spec.workload, spec.seed))
+    return pipe.run(spec.instructions, warmup=spec.warmup)
+
+
+def _pool_worker(spec: SimSpec) -> SimResult:
+    return run_spec(spec)
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalise a ``--jobs`` value (``None``/``0`` -> all cores)."""
+    if jobs is None or jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def jobs_from_env(default: int = 1) -> int:
+    """Worker count from ``REPRO_JOBS`` (0 = one per core).
+
+    The benchmark harness and ablation benches read their parallelism
+    from here so the env semantics live next to the engine.
+    """
+    return resolve_jobs(int(os.environ.get("REPRO_JOBS", str(default))))
+
+
+def run_many(specs: Sequence[SimSpec], jobs: int | None = 1) -> list[SimResult]:
+    """Run a batch of specs, results in spec order.
+
+    Serves each spec from the in-process memo, then the disk cache, and
+    fans the rest out over a process pool when ``jobs > 1`` (``jobs <= 0``
+    means one worker per core).  Results are bit-identical to the serial
+    path: workers are pure functions of their spec.
+    """
+    jobs = resolve_jobs(jobs)
+    seen: dict[tuple, SimSpec] = {}
+    for spec in specs:
+        if spec.workload not in SPEC2000_PROFILES:
+            raise KeyError(f"unknown workload {spec.workload!r}")
+        # the key's machine_key stands in for the LSQ geometry; catch a
+        # batch that maps one key to two different machines before any
+        # result could be served to (or persisted for) the wrong spec
+        prior = seen.setdefault(spec.key, spec)
+        if prior.lsq != spec.lsq:
+            raise ValueError(
+                f"machine_key {spec.machine_key!r} names two different LSQ "
+                f"geometries ({prior.lsq} vs {spec.lsq}); machine keys must "
+                "uniquely identify the machine"
+            )
+    todo: dict[tuple, SimSpec] = {}
+    for spec in specs:
+        key = spec.key
+        if key in _cache or key in todo:
+            continue
+        hit = _disk_load(key)
+        if hit is not None:
+            _cache[key] = hit
+        else:
+            todo[key] = spec
+    pending = list(todo.values())
+    if jobs <= 1 or len(pending) <= 1:
+        computed = [run_spec(s) for s in pending]
+    else:
+        chunk = max(1, len(pending) // (jobs * 4))
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            computed = list(pool.map(_pool_worker, pending, chunksize=chunk))
+    for spec, result in zip(pending, computed):
+        _cache[spec.key] = result
+        _disk_store(spec.key, result)
+    return [_cache[spec.key] for spec in specs]
+
+
+def sweep(
+    workloads: Iterable[str],
+    machines: Iterable[tuple[str, LSQSpec]],
+    instructions: int | None = None,
+    warmup: int | None = None,
+    seed: int = 1,
+    jobs: int | None = 1,
+) -> dict[tuple[str, str], SimResult]:
+    """Cross-product convenience: {(workload, machine_key): result}."""
+    machines = list(machines)
+    specs = [
+        SimSpec.make(w, m, instructions, warmup, seed)
+        for w in workloads
+        for m in machines
+    ]
+    results = run_many(specs, jobs=jobs)
+    return {(s.workload, s.machine_key): r for s, r in zip(specs, results)}
+
+
+# -- legacy factory-based entry points ---------------------------------------
+
+def conventional_baseline() -> BaseLSQ:
+    """Paper baseline: 128-entry fully-associative LSQ."""
+    return build_lsq(MACHINE_CONV128[1])
+
+
+def unbounded_lsq() -> BaseLSQ:
+    """Figure 1 reference machine: LSQ of unbounded size."""
+    return build_lsq(MACHINE_UNBOUNDED[1])
+
+
+def samie_default() -> BaseLSQ:
+    """Paper Table 3 SAMIE configuration."""
+    return build_lsq(MACHINE_SAMIE[1])
+
+
+def samie_unbounded_shared(banks: int = 64, entries: int = 2) -> Callable[[], BaseLSQ]:
+    """SAMIE with an unbounded SharedLSQ (sizing studies, Figures 3-4)."""
+    spec = machine_samie_unbounded_shared(banks, entries)[1]
+
+    def factory() -> BaseLSQ:
+        return build_lsq(spec)
+
+    return factory
+
+
+def arb_machine(banks: int, addresses: int, max_inflight: int = 128) -> Callable[[], BaseLSQ]:
+    """ARB with the given geometry (Figure 1 sweep)."""
+    spec = machine_arb(banks, addresses, max_inflight)[1]
+
+    def factory() -> BaseLSQ:
+        return build_lsq(spec)
+
+    return factory
 
 
 def run_one(
@@ -81,7 +450,13 @@ def run_one(
     seed: int = 1,
     cfg: ProcessorConfig | None = None,
 ) -> SimResult:
-    """Simulate one workload on one machine, memoised by ``machine_key``."""
+    """Simulate one workload on one machine, memoised by ``machine_key``.
+
+    Serial, factory-based compatibility shim over the spec engine: it
+    shares the memo and disk cache with :func:`run_many` through the same
+    stable key, so mixed factory/spec sessions never recompute a point.
+    ``machine_key`` must uniquely name the machine the factory builds.
+    """
     if workload not in SPEC2000_PROFILES:
         raise KeyError(f"unknown workload {workload!r}")
     env_n, env_w = current_scale()
@@ -89,42 +464,17 @@ def run_one(
     w = warmup if warmup is not None else env_w
     # cfg is part of the key: two runs of the same machine under different
     # processor configs (e.g. the fast-way ablation) must not collide
-    key = (workload, machine_key, n, w, seed, repr(cfg) if cfg else "")
+    key = (workload, machine_key, n, w, seed, config_token(cfg))
     if key not in _cache:
-        pipe = build_processor(lsq_factory(), cfg)
-        pipe.attach_trace(make_trace(workload, seed))
-        _cache[key] = pipe.run(n, warmup=w)
+        hit = _disk_load(key)
+        if hit is not None:
+            _cache[key] = hit
+        else:
+            pipe = build_processor(lsq_factory(), cfg)
+            pipe.attach_trace(make_trace(workload, seed))
+            _cache[key] = pipe.run(n, warmup=w)
+            _disk_store(key, _cache[key])
     return _cache[key]
-
-
-# -- canonical machines ------------------------------------------------------
-def conventional_baseline() -> BaseLSQ:
-    """Paper baseline: 128-entry fully-associative LSQ."""
-    return ConventionalLSQ(capacity=128)
-
-
-def unbounded_lsq() -> BaseLSQ:
-    """Figure 1 reference machine: LSQ of unbounded size."""
-    return ConventionalLSQ(capacity=None)
-
-
-def samie_default() -> BaseLSQ:
-    """Paper Table 3 SAMIE configuration."""
-    return SamieLSQ(SamieConfig())
-
-
-def samie_unbounded_shared(banks: int = 64, entries: int = 2) -> Callable[[], BaseLSQ]:
-    """SAMIE with an unbounded SharedLSQ (sizing studies, Figures 3-4)."""
-    def factory() -> BaseLSQ:
-        return SamieLSQ(SamieConfig(banks=banks, entries_per_bank=entries, shared_entries=None))
-    return factory
-
-
-def arb_machine(banks: int, addresses: int, max_inflight: int = 128) -> Callable[[], BaseLSQ]:
-    """ARB with the given geometry (Figure 1 sweep)."""
-    def factory() -> BaseLSQ:
-        return ARBLSQ(ARBConfig(banks=banks, addresses_per_bank=addresses, max_inflight=max_inflight))
-    return factory
 
 
 def run_pair(
@@ -134,8 +484,11 @@ def run_pair(
     seed: int = 1,
 ) -> tuple[SimResult, SimResult]:
     """(conventional, SAMIE) results for one workload."""
-    base = run_one(workload, conventional_baseline, "conv128", instructions, warmup, seed)
-    samie = run_one(workload, samie_default, "samie", instructions, warmup, seed)
+    specs = [
+        SimSpec.make(workload, MACHINE_CONV128, instructions, warmup, seed),
+        SimSpec.make(workload, MACHINE_SAMIE, instructions, warmup, seed),
+    ]
+    base, samie = run_many(specs, jobs=1)
     return base, samie
 
 
@@ -144,7 +497,17 @@ def suite_pairs(
     instructions: int | None = None,
     warmup: int | None = None,
     seed: int = 1,
+    jobs: int | None = 1,
 ) -> dict[str, tuple[SimResult, SimResult]]:
-    """Conventional-vs-SAMIE results for a set of workloads (default all)."""
+    """Conventional-vs-SAMIE results for a set of workloads (default all).
+
+    The whole suite is submitted as one :func:`run_many` batch, so with
+    ``jobs > 1`` the 2 x N simulations fan out over the process pool.
+    """
     names = workloads if workloads is not None else sorted(SPEC2000_PROFILES)
-    return {w: run_pair(w, instructions, warmup, seed) for w in names}
+    specs = []
+    for w in names:
+        specs.append(SimSpec.make(w, MACHINE_CONV128, instructions, warmup, seed))
+        specs.append(SimSpec.make(w, MACHINE_SAMIE, instructions, warmup, seed))
+    results = run_many(specs, jobs=jobs)
+    return {w: (results[2 * i], results[2 * i + 1]) for i, w in enumerate(names)}

@@ -33,8 +33,14 @@ PAPER_DELAYS = {
 }
 
 
-def compute() -> FigureResult:
-    """Regenerate Table 1 (model vs paper, plus improvement columns)."""
+def compute(jobs: int | None = 1) -> FigureResult:
+    """Regenerate Table 1 (model vs paper, plus improvement columns).
+
+    ``jobs`` is accepted for driver-interface uniformity (``repro all
+    --jobs N`` calls every driver the same way) and ignored: the CACTI
+    model is closed-form, no simulation to fan out.
+    """
+    del jobs
     rows = []
     for size, assoc, ports, paper_conv, paper_known in PAPER_TABLE1:
         conv = cache_access_time(size, assoc, 32, ports, way_known=False)

@@ -37,7 +37,7 @@ oracle (:mod:`repro.verify.oracle`).  Run ``repro verify`` (see
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 
 from repro.core.inflight import InFlight

@@ -12,7 +12,7 @@ locations when the line is replaced.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.common.bitutils import ilog2, is_pow2

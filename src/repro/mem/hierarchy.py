@@ -13,7 +13,7 @@ latency) by default.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.mem.cache import Cache, AccessResult
 from repro.mem.ports import PortPool

@@ -7,6 +7,27 @@ import os
 
 import pytest
 
+from repro.core.inflight import InFlight
+from repro.isa.opclasses import OpClass
+from repro.isa.uop import UOp
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_result_cache(tmp_path_factory):
+    """Point the runner's on-disk result cache at a per-session tmp dir.
+
+    Keeps test runs hermetic (no reads from, or writes to, the user's
+    ``~/.cache/samie-repro``) while still exercising the disk-cache code
+    paths at the tests' tiny scales.
+    """
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("result-cache"))
+    yield
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
+
 
 def pytest_configure(config):
     config.addinivalue_line(
@@ -22,10 +43,6 @@ def pytest_collection_modifyitems(config, items):
     for item in items:
         if "slow_fuzz" in item.keywords:
             item.add_marker(skip)
-
-from repro.core.inflight import InFlight
-from repro.isa.opclasses import OpClass
-from repro.isa.uop import UOp
 
 _seq_counter = itertools.count()
 

@@ -53,7 +53,7 @@ class TestAccess:
 
     def test_eviction_callback(self):
         events = []
-        c = small_cache(on_evict=lambda s, l: events.append((s, l)))
+        c = small_cache(on_evict=lambda set_idx, line: events.append((set_idx, line)))
         s = c.num_sets
         for i in range(3):
             c.access(i * s)
@@ -145,4 +145,4 @@ def test_cache_matches_lru_reference(lines):
         if len(model) > 2:
             evicted = model.pop()
             assert res.evicted_line == evicted
-    assert c.contents() == {l for s in ref.values() for l in s}
+    assert c.contents() == {line for s in ref.values() for line in s}

@@ -36,6 +36,28 @@ class TestCLI:
         with pytest.raises(KeyError):
             main(["run", "quake3"])
 
+    def test_run_many_workloads_with_jobs(self, capsys):
+        import os
+
+        before = os.environ.get("REPRO_CACHE")
+        rc = main(["run", "gzip", "mcf", "--instructions", "500", "--warmup", "100",
+                   "--jobs", "2", "--no-cache"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "workload=gzip" in out and "workload=mcf" in out
+        # --no-cache is scoped to the command, not leaked into the process
+        assert os.environ.get("REPRO_CACHE") == before
+
+    def test_figure_accepts_jobs(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_INSTR", "500")
+        monkeypatch.setenv("REPRO_WARMUP", "100")
+        from repro.experiments.runner import clear_cache, ensure_scale_coherent
+
+        ensure_scale_coherent()
+        assert main(["figure", "table1", "--jobs", "4"]) == 0
+        assert "Cache access time" in capsys.readouterr().out
+        clear_cache()
+
 
 class TestVerifyCLI:
     def test_clean_campaign_exits_zero(self, capsys):
@@ -86,6 +108,15 @@ class TestVerifyCLI:
         out = capsys.readouterr().out
         assert "DIVERGENCE" in out and "minimized" in out
         assert "self-test ok" in out
+
+    def test_injected_bug_no_selftest_exits_nonzero(self, capsys):
+        # the CI gate self-test: with --no-selftest the raw exit code is
+        # kept, so an injected bug MUST turn the gate red
+        rc = main(["verify", "--programs", "12", "--jobs", "1", "--grid", "quick",
+                   "--seed", "7", "--inject-bug", "no-store-forwarding",
+                   "--no-selftest", "--no-minimize"])
+        assert rc != 0
+        assert "DIVERGENCES" in capsys.readouterr().out
 
     def test_replay_missed_fault_is_selftest_failure(self, capsys):
         # a program the injected fault does NOT trip on: missing the bug

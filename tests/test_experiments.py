@@ -24,7 +24,7 @@ class TestReportHelpers:
         txt = format_table(["a", "bench"], [[1.0, "x"], [22.5, "yy"]])
         lines = txt.splitlines()
         assert len(lines) == 4
-        assert len(set(len(l) for l in lines)) <= 2
+        assert len(set(len(line) for line in lines)) <= 2
 
     def test_geomean(self):
         assert geomean([1.0, 4.0]) == pytest.approx(2.0)

@@ -1,7 +1,5 @@
 """Unit tests for the ISA layer (uops, op classes, FU binding)."""
 
-import pytest
-
 from repro.isa.opclasses import EXEC_LATENCY, FP_CLASSES, MEM_CLASSES, PIPELINED, OpClass, fu_pool_for
 from repro.isa.uop import UOp
 

@@ -128,11 +128,11 @@ class TestEnergyAccounting:
         older_load = mk_mem(OpClass.LOAD, 1, 0x300)
         q.dispatch(older_load)
         q.dispatch(st)
-        for l in loads:
-            q.dispatch(l)
+        for load in loads:
+            q.dispatch(load)
         q.address_ready(older_load)
-        for l in loads:
-            q.address_ready(l)
+        for load in loads:
+            q.address_ready(load)
         before = q.stats.addr_comparisons
         q.address_ready(st)
         assert q.stats.addr_comparisons - before == 2  # only younger loads

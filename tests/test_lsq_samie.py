@@ -53,7 +53,7 @@ class TestPlacement:
     def test_full_entry_spills_to_new_entry_same_line(self):
         q = make(slots=2)
         a = place(q, OpClass.LOAD, 0, 0x100)
-        b = place(q, OpClass.LOAD, 1, 0x108)
+        place(q, OpClass.LOAD, 1, 0x108)  # fills the entry's second slot
         c = place(q, OpClass.LOAD, 2, 0x110)  # same line, entry full
         assert c.placement is not a.placement
         assert q.distrib_entries_in_use() == 2

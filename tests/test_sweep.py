@@ -1,0 +1,209 @@
+"""Tests for the parallel sweep engine (SimSpec, run_many, disk cache)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core.config import ProcessorConfig
+from repro.experiments import runner
+from repro.experiments.runner import (
+    MACHINE_CONV128,
+    MACHINE_SAMIE,
+    MACHINE_UNBOUNDED,
+    SimSpec,
+    build_lsq,
+    clear_cache,
+    config_token,
+    lsq_spec,
+    machine_arb,
+    machine_samie_unbounded_shared,
+    run_many,
+    run_one,
+    samie_default,
+)
+from repro.lsq.arb import ARBLSQ
+from repro.lsq.conventional import ConventionalLSQ
+from repro.lsq.samie import SamieLSQ
+from repro.mem.hierarchy import MemConfig
+
+SMALL = dict(instructions=400, warmup=100)
+THREE = ["gzip", "swim", "ammp"]
+
+
+@pytest.fixture(autouse=True)
+def _fresh(tmp_path, monkeypatch):
+    """Fresh in-process memo and a private disk cache per test."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def _suite_specs(**kw):
+    return [
+        SimSpec.make(w, m, **SMALL, **kw)
+        for w in THREE
+        for m in (MACHINE_CONV128, MACHINE_SAMIE)
+    ]
+
+
+class TestLSQSpecs:
+    def test_build_lsq_kinds(self):
+        assert isinstance(build_lsq(lsq_spec("conventional", capacity=64)), ConventionalLSQ)
+        assert build_lsq(MACHINE_UNBOUNDED[1]).capacity is None
+        samie = build_lsq(machine_samie_unbounded_shared(32, 4)[1])
+        assert isinstance(samie, SamieLSQ)
+        assert (samie.cfg.banks, samie.cfg.entries_per_bank) == (32, 4)
+        assert samie.cfg.shared_entries is None
+        arb = build_lsq(machine_arb(8, 16)[1])
+        assert isinstance(arb, ARBLSQ)
+        assert (arb.cfg.banks, arb.cfg.addresses_per_bank) == (8, 16)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            build_lsq(lsq_spec("quantum"))
+
+    def test_spec_is_picklable(self):
+        import pickle
+
+        spec = SimSpec.make("gzip", MACHINE_SAMIE, 100, 10, cfg=ProcessorConfig())
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone.key == spec.key
+
+
+class TestStableKey:
+    def test_config_token_stable_and_canonical(self):
+        a = ProcessorConfig(mem=MemConfig(fast_way_hit_latency=1))
+        b = ProcessorConfig(mem=MemConfig(fast_way_hit_latency=1))
+        assert config_token(a) == config_token(b) != config_token(ProcessorConfig())
+        assert config_token(None) == ""
+        json.loads(config_token(a))  # canonical JSON, not repr()
+
+    def test_run_one_and_run_many_share_entries(self):
+        spec = SimSpec.make("gzip", MACHINE_SAMIE, **SMALL)
+        via_many = run_many([spec], jobs=1)[0]
+        via_one = run_one("gzip", samie_default, "samie", **SMALL)
+        assert via_one is via_many
+
+    def test_cfg_distinguishes_entries(self):
+        cfg = ProcessorConfig(mem=MemConfig(fast_way_hit_latency=1))
+        plain = run_many([SimSpec.make("gzip", MACHINE_SAMIE, **SMALL)], jobs=1)[0]
+        fast = run_many([SimSpec.make("gzip", MACHINE_SAMIE, **SMALL, cfg=cfg)], jobs=1)[0]
+        assert plain is not fast
+
+
+class TestRunMany:
+    def test_parallel_matches_serial(self):
+        specs = _suite_specs()
+        parallel = run_many(specs, jobs=4)
+        clear_cache()
+        os.environ["REPRO_CACHE"] = "0"  # force real recomputation
+        serial = run_many(specs, jobs=1)
+        assert parallel == serial  # SimResult dataclass equality, field by field
+        assert [r.lsq_name for r in serial[1::2]] == ["samie"] * len(THREE)
+
+    def test_duplicate_specs_computed_once(self, monkeypatch):
+        calls = []
+        real = runner.run_spec
+        monkeypatch.setattr(runner, "run_spec", lambda s: calls.append(s) or real(s))
+        spec = SimSpec.make("gzip", MACHINE_SAMIE, **SMALL)
+        a, b = run_many([spec, spec], jobs=1)
+        assert a is b
+        assert len(calls) == 1
+
+    def test_unknown_workload_raises_before_any_work(self):
+        with pytest.raises(KeyError):
+            run_many([SimSpec.make("quake3", MACHINE_SAMIE, **SMALL)], jobs=1)
+
+    def test_colliding_machine_keys_rejected(self):
+        # same machine_key, different geometry: must refuse rather than
+        # serve one spec the other's (memoised or persisted) result
+        a = SimSpec.make("gzip", ("dup", lsq_spec("samie", banks=64)), **SMALL)
+        b = SimSpec.make("gzip", ("dup", lsq_spec("samie", banks=32)), **SMALL)
+        with pytest.raises(ValueError, match="uniquely"):
+            run_many([a, b], jobs=1)
+
+    def test_machine_arb_key_encodes_max_inflight(self):
+        assert machine_arb(8, 16, 128)[0] == "arb-8x16"
+        assert machine_arb(8, 16, 64)[0] == "arb-8x16-if64"
+        assert machine_arb(8, 16, 64)[0] != machine_arb(8, 16, 128)[0]
+
+    def test_jobs_zero_means_all_cores(self):
+        assert runner.resolve_jobs(0) == (os.cpu_count() or 1)
+        assert runner.resolve_jobs(None) == (os.cpu_count() or 1)
+        assert runner.resolve_jobs(3) == 3
+
+
+class TestDiskCache:
+    def test_round_trip_without_recompute(self, monkeypatch):
+        specs = _suite_specs()
+        first = run_many(specs, jobs=1)
+        clear_cache()
+        # a recompute would now blow up: only the disk can serve these
+        monkeypatch.setattr(
+            runner, "run_spec", lambda s: (_ for _ in ()).throw(AssertionError("recomputed"))
+        )
+        second = run_many(specs, jobs=1)
+        assert first == second
+        assert all(a is not b for a, b in zip(first, second))
+
+    def test_invalidates_on_scale_change(self, monkeypatch):
+        spec_small = SimSpec.make("gzip", MACHINE_SAMIE, 400, 100)
+        run_many([spec_small], jobs=1)
+        clear_cache()
+        calls = []
+        real = runner.run_spec
+        monkeypatch.setattr(runner, "run_spec", lambda s: calls.append(s) or real(s))
+        bigger = run_many([SimSpec.make("gzip", MACHINE_SAMIE, 600, 100)], jobs=1)[0]
+        assert len(calls) == 1  # different scale: disk entry must not be served
+        assert 600 <= bigger.instructions < 610
+
+    def test_corrupt_entry_recomputed(self):
+        spec = SimSpec.make("gzip", MACHINE_SAMIE, **SMALL)
+        first = run_many([spec], jobs=1)[0]
+        path = runner._disk_path(spec.key)
+        assert path is not None and os.path.exists(path)
+        with open(path, "w") as fh:
+            fh.write("{not json")
+        clear_cache()
+        again = run_many([spec], jobs=1)[0]
+        assert again == first
+
+    def test_disabled_via_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        assert runner.cache_dir() is None
+        spec = SimSpec.make("gzip", MACHINE_SAMIE, **SMALL)
+        run_many([spec], jobs=1)
+        monkeypatch.delenv("REPRO_CACHE")
+        assert not os.path.exists(runner._disk_path(spec.key))
+
+    def test_clear_disk_cache(self):
+        run_many([SimSpec.make("gzip", MACHINE_SAMIE, **SMALL)], jobs=1)
+        assert runner.clear_disk_cache() == 1
+        assert runner.clear_disk_cache() == 0
+
+
+class TestScaleCoherence:
+    def test_ensure_scale_coherent_still_evicts(self, monkeypatch):
+        monkeypatch.setenv("REPRO_INSTR", "300")
+        monkeypatch.setenv("REPRO_WARMUP", "50")
+        runner.ensure_scale_coherent()
+        a = run_many([SimSpec.make("gzip", MACHINE_SAMIE)], jobs=1)[0]
+        assert (300, 50) == (runner.DEFAULT_INSTRUCTIONS, runner.DEFAULT_WARMUP)
+        monkeypatch.setenv("REPRO_INSTR", "500")
+        runner.ensure_scale_coherent()  # scale changed: memo dropped
+        assert not runner._cache
+        b = run_many([SimSpec.make("gzip", MACHINE_SAMIE)], jobs=1)[0]
+        assert 500 <= b.instructions < 510 and 300 <= a.instructions < 310
+
+    def test_default_scale_attributes_are_live(self, monkeypatch):
+        import repro.experiments as exp
+
+        monkeypatch.setenv("REPRO_INSTR", "777")
+        monkeypatch.setenv("REPRO_WARMUP", "111")
+        assert runner.DEFAULT_INSTRUCTIONS == exp.DEFAULT_INSTRUCTIONS == 777
+        assert runner.DEFAULT_WARMUP == exp.DEFAULT_WARMUP == 111

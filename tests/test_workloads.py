@@ -6,7 +6,7 @@ import pytest
 
 from repro.isa.opclasses import OpClass
 from repro.workloads.base import TraceBuilder
-from repro.workloads.registry import get_workload, list_workloads, make_trace
+from repro.workloads.registry import get_workload, list_workloads
 from repro.workloads.spec2000 import SPEC2000_PROFILES, SPEC_FP, SPEC_INT
 
 
