@@ -19,6 +19,7 @@ setup(
     description="Reproduction of SAMIE-LSQ: set-associative multiple-instruction entry load/store queue",
     package_dir={"": "src"},
     packages=find_packages("src"),
+    package_data={"repro.trace.fixtures": ["*.log"]},
     python_requires=">=3.10",
     entry_points={
         "console_scripts": [

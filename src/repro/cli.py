@@ -3,12 +3,21 @@
 Subcommands:
 
 * ``list``                 -- available workloads and experiments
+* ``workloads``            -- workload listing with suite/kind detail
+                              (``--order paper`` for the figure x-axis
+                              order, ``--verbose`` for profile notes)
 * ``run WORKLOAD...``      -- simulate one or more workloads on one LSQ
                               design (``--jobs N`` fans the batch out
-                              over a process pool)
+                              over a process pool); a ``trace:<path>``
+                              workload replays a recorded trace
 * ``figure ID``            -- regenerate one paper artefact (figure1,
                               figure3..figure12, table1)
 * ``all``                  -- regenerate every artefact
+* ``trace``                -- record/replay uop traces: ``record`` a
+                              synthetic workload to a ``.uoptrace``
+                              file, ``replay`` one (optionally sampled),
+                              ``info`` a file, ``ingest`` a Spike
+                              commit log
 * ``verify``               -- differential conformance campaign: fuzzed
                               programs through every LSQ model across a
                               geometry grid, checked against the golden
@@ -27,6 +36,7 @@ from __future__ import annotations
 
 import argparse
 import importlib
+import os
 import sys
 
 
@@ -55,28 +65,78 @@ def _cmd_list(_: argparse.Namespace) -> int:
     return 0
 
 
+def _print_result(workload: str, res) -> None:
+    print(f"workload={workload} lsq={res.lsq_name}")
+    print(f"  instructions={res.instructions} cycles={res.cycles} ipc={res.ipc:.3f}")
+    print(
+        f"  mispredict_rate={res.mispredict_rate:.3f} "
+        f"l1d_miss={res.l1d_miss_rate:.3f} dtlb_miss={res.dtlb_miss_rate:.3f}"
+    )
+    print(
+        f"  lsq_energy={res.lsq_energy_total_pj / 1e3:.1f} nJ  "
+        f"deadlock_flushes={res.deadlock_flushes}"
+    )
+    for cat, pj in sorted(res.lsq_energy_pj.items()):
+        print(f"    {cat}: {pj / 1e3:.1f} nJ")
+    sampling = res.extra.get("sampling") if res.extra else None
+    if sampling:
+        print(
+            f"  sampling: ratio={sampling['ratio']:.3f} "
+            f"windows={sampling['windows']} "
+            f"measured={sampling['measured_instructions']} "
+            f"simulated={sampling['simulated_instructions']} "
+            f"consumed={sampling['source_uops_consumed']}"
+        )
+        if "ipc_error_vs_full" in sampling:
+            print(
+                f"  full_ipc={sampling['full_ipc']:.3f} "
+                f"ipc_error_vs_full={sampling['ipc_error_vs_full'] * 100:.2f}%"
+            )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.experiments.runner import SimSpec, run_many
+    from repro.trace.format import TraceError
+    from repro.workloads.registry import TRACE_SCHEME
 
     machine = _run_machine(args.lsq)
+    for w in args.workload:
+        # synthetic typos keep their KeyError contract; a mistyped trace
+        # path is a file problem and deserves a file message
+        if w.startswith(TRACE_SCHEME) and not os.path.exists(w[len(TRACE_SCHEME):]):
+            print(f"{w[len(TRACE_SCHEME):]}: no such trace file", file=sys.stderr)
+            return 1
     specs = [
         SimSpec.make(w, machine, args.instructions, args.warmup, args.seed)
         for w in args.workload
     ]
-    results = run_many(specs, jobs=args.jobs)
+    try:
+        results = run_many(specs, jobs=args.jobs)
+    except TraceError as e:
+        # a trace: workload can name a truncated/corrupt file; fail like
+        # `trace replay` does, not with a traceback
+        print(e, file=sys.stderr)
+        return 1
     for w, res in zip(args.workload, results):
-        print(f"workload={w} lsq={res.lsq_name}")
-        print(f"  instructions={res.instructions} cycles={res.cycles} ipc={res.ipc:.3f}")
-        print(
-            f"  mispredict_rate={res.mispredict_rate:.3f} "
-            f"l1d_miss={res.l1d_miss_rate:.3f} dtlb_miss={res.dtlb_miss_rate:.3f}"
-        )
-        print(
-            f"  lsq_energy={res.lsq_energy_total_pj / 1e3:.1f} nJ  "
-            f"deadlock_flushes={res.deadlock_flushes}"
-        )
-        for cat, pj in sorted(res.lsq_energy_pj.items()):
-            print(f"    {cat}: {pj / 1e3:.1f} nJ")
+        _print_result(w, res)
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    from repro.workloads.registry import list_workloads, trace_workloads
+    from repro.workloads.spec2000 import SPEC2000_PROFILES
+
+    traces = trace_workloads()
+    for name in list_workloads(order=args.order):
+        profile = SPEC2000_PROFILES.get(name)
+        if profile is not None:
+            kind, detail = profile.suite, profile.note
+        else:
+            kind, detail = "trace", traces.get(name, "")
+        if args.verbose:
+            print(f"{name:<10} {kind:<6} {detail}")
+        else:
+            print(f"{name:<10} {kind}")
     return 0
 
 
@@ -113,8 +173,6 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 def _cmd_all(args: argparse.Namespace) -> int:
     out_dir = getattr(args, "out", None)
     if out_dir:
-        import os
-
         os.makedirs(out_dir, exist_ok=True)
     for exp in EXPERIMENTS:
         mod = importlib.import_module(f"repro.experiments.{exp}")
@@ -123,12 +181,127 @@ def _cmd_all(args: argparse.Namespace) -> int:
         print(text)
         print()
         if out_dir:
-            import os
-
             with open(os.path.join(out_dir, f"{exp}.txt"), "w") as fh:
                 fh.write(text + "\n")
             with open(os.path.join(out_dir, f"{exp}.json"), "w") as fh:
                 fh.write(result.to_json() + "\n")
+    return 0
+
+
+def _cmd_trace_record(args: argparse.Namespace) -> int:
+    from repro.trace.workload import record_trace, recommended_uops
+
+    n = args.uops
+    if n is None:
+        n = recommended_uops(args.instructions, args.warmup)
+    try:
+        info = record_trace(args.out, args.workload, n, seed=args.seed)
+    except OSError as e:
+        print(e, file=sys.stderr)
+        return 1
+    except KeyError as e:
+        print(e.args[0], file=sys.stderr)
+        return 1
+    print(info.describe())
+    print(f"replay with: repro trace replay {args.out}")
+    return 0
+
+
+def _cmd_trace_info(args: argparse.Namespace) -> int:
+    from repro.trace.format import TraceError, read_info
+
+    try:
+        info = read_info(args.path, scan=args.scan)
+    except (OSError, TraceError) as e:
+        print(e, file=sys.stderr)
+        return 1
+    print(info.describe())
+    return 0 if info.complete else 1
+
+
+def _cmd_trace_ingest(args: argparse.Namespace) -> int:
+    from repro.trace.spike import ingest_spike_log
+
+    try:
+        info, stats = ingest_spike_log(args.log, args.out)
+    except OSError as e:
+        print(e, file=sys.stderr)
+        return 1
+    print(stats.describe())
+    print(info.describe())
+    if stats.decoded == 0:
+        print("no instructions decoded; is this a Spike commit log?", file=sys.stderr)
+        return 1
+    print(f"replay with: repro trace replay {args.out}")
+    return 0
+
+
+def _cmd_trace_replay(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import SimSpec, run_many
+    from repro.trace.format import TraceError, read_info
+    from repro.trace.sampling import SamplePlan, attach_error
+    from repro.trace.workload import spec_name
+
+    try:
+        info = read_info(args.path)
+    except (OSError, TraceError) as e:
+        print(e, file=sys.stderr)
+        return 1
+    if not info.complete:
+        print(f"{args.path}: incomplete/corrupt trace "
+              "(see `repro trace info --scan`)", file=sys.stderr)
+        return 1
+    if args.check_full and args.sample_ratio is None:
+        print("--check-full only applies to sampled replay; "
+              "pass --sample-ratio too", file=sys.stderr)
+        return 2
+    if args.check_full and args.instructions is not None:
+        # a bounded sampled run spreads its budget across ~1/ratio times
+        # as many source uops as a bounded full run covers, so the two
+        # would describe different trace regions and the error is noise
+        print("--check-full compares whole-trace replays; "
+              "drop --instructions", file=sys.stderr)
+        return 2
+    if args.sample_ratio is not None and args.warmup:
+        # sampling replaces the single up-front warmup with the plan's
+        # per-window warmup; silently dropping the flag would be worse
+        print("--warmup does not apply to sampled replay (the sampling "
+              "plan warms each window); drop it", file=sys.stderr)
+        return 2
+    machine = _run_machine(args.lsq)
+    name = spec_name(args.path)
+    n = args.instructions if args.instructions is not None else info.count
+    sample = None
+    if args.sample_ratio is not None:
+        try:
+            plan = SamplePlan.from_ratio(args.sample_ratio, period=args.sample_period)
+        except ValueError as e:
+            print(e, file=sys.stderr)
+            return 2
+        sample = plan.key()
+    specs = [SimSpec.make(name, machine, n, args.warmup if sample is None else 0,
+                          args.seed, sample=sample)]
+    if sample is not None and args.check_full:
+        specs.append(SimSpec.make(name, machine, n, args.warmup, args.seed))
+    try:
+        results = run_many(specs, jobs=args.jobs)
+    except TraceError as e:
+        # a frame can be corrupt even when the footer verifies (the
+        # pre-check above is footer-only); fail cleanly, not mid-traceback
+        print(e, file=sys.stderr)
+        return 1
+    except ValueError as e:
+        print(e, file=sys.stderr)  # e.g. no complete sampling window
+        return 1
+    res = results[0]
+    if sample is not None and args.check_full:
+        # detach from the runner's memo before annotating: the cached
+        # object must not accumulate this invocation's error fields
+        from repro.core.pipeline import SimResult
+
+        res = SimResult.from_dict(res.to_dict())
+        attach_error(res, results[1])
+    _print_result(name, res)
     return 0
 
 
@@ -203,6 +376,13 @@ def main(argv: list[str] | None = None) -> int:
 
     sub.add_parser("list", help="list workloads and experiments").set_defaults(fn=_cmd_list)
 
+    wl_p = sub.add_parser("workloads", help="list workloads with suite/kind detail")
+    wl_p.add_argument("--order", default="name", choices=["name", "paper"],
+                      help="sort by name or by the paper's figure x-axis order")
+    wl_p.add_argument("--verbose", action="store_true",
+                      help="include each profile's descriptive note")
+    wl_p.set_defaults(fn=_cmd_workloads)
+
     def add_sweep_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument("--jobs", type=int, default=1,
                        help="parallel simulation workers (0 = one per core)")
@@ -229,6 +409,50 @@ def main(argv: list[str] | None = None) -> int:
                        help="also write per-artefact .txt/.json files here")
     add_sweep_flags(all_p)
     all_p.set_defaults(fn=_cmd_all)
+
+    trace_p = sub.add_parser("trace", help="record/replay/inspect uop traces")
+    trace_sub = trace_p.add_subparsers(dest="trace_cmd", required=True)
+
+    rec_p = trace_sub.add_parser("record", help="record a synthetic workload to .uoptrace")
+    rec_p.add_argument("workload")
+    rec_p.add_argument("-o", "--out", required=True, help="output .uoptrace path")
+    rec_p.add_argument("--uops", type=int, default=None,
+                       help="records to capture (default: sized from "
+                            "--instructions/--warmup plus fetch slack)")
+    rec_p.add_argument("--instructions", type=int, default=20000)
+    rec_p.add_argument("--warmup", type=int, default=5000)
+    rec_p.add_argument("--seed", type=int, default=1)
+    rec_p.set_defaults(fn=_cmd_trace_record)
+
+    info_p = trace_sub.add_parser("info", help="summarise a .uoptrace file")
+    info_p.add_argument("path")
+    info_p.add_argument("--scan", action="store_true",
+                        help="verify every frame and histogram op classes")
+    info_p.set_defaults(fn=_cmd_trace_info)
+
+    ing_p = trace_sub.add_parser("ingest", help="convert a Spike commit log to .uoptrace")
+    ing_p.add_argument("log", help="Spike/riscv-pythia commit log path")
+    ing_p.add_argument("-o", "--out", required=True, help="output .uoptrace path")
+    ing_p.set_defaults(fn=_cmd_trace_ingest)
+
+    rep_p = trace_sub.add_parser("replay", help="simulate a recorded trace")
+    rep_p.add_argument("path")
+    rep_p.add_argument("--lsq", default="samie",
+                       choices=["conventional", "unbounded", "samie", "arb"])
+    rep_p.add_argument("--instructions", type=int, default=None,
+                       help="commit budget (default: the whole trace)")
+    rep_p.add_argument("--warmup", type=int, default=0)
+    rep_p.add_argument("--seed", type=int, default=1)
+    rep_p.add_argument("--sample-ratio", type=float, default=None, metavar="R",
+                       help="systematic sampling: measure fraction R of the "
+                            "stream (e.g. 0.1)")
+    rep_p.add_argument("--sample-period", type=int, default=5000,
+                       help="sampling interval length in instructions")
+    rep_p.add_argument("--check-full", action="store_true",
+                       help="also run the full replay and report the "
+                            "sampled-vs-full IPC error")
+    add_sweep_flags(rep_p)
+    rep_p.set_defaults(fn=_cmd_trace_replay)
 
     from repro.verify.diff import FAULTS
     from repro.verify.fuzz import PROFILE_NAMES
@@ -261,11 +485,22 @@ def main(argv: list[str] | None = None) -> int:
     ver_p.set_defaults(fn=_cmd_verify)
 
     args = parser.parse_args(argv)
+    try:
+        return _dispatch(args)
+    except BrokenPipeError:
+        # output piped into a pager/head that exited; not an error --
+        # repoint stdout at devnull so interpreter shutdown stays quiet
+        try:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        except OSError:
+            pass
+        return 0
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if getattr(args, "no_cache", False):
         # scope the disk-cache override to this command: a library caller
         # invoking main() twice must not inherit a stale REPRO_CACHE=0
-        import os
-
         saved = os.environ.get("REPRO_CACHE")
         os.environ["REPRO_CACHE"] = "0"
         try:

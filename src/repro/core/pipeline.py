@@ -634,7 +634,9 @@ class Pipeline:
         if self._trace is None:
             raise RuntimeError("attach_trace() first")
         if warmup:
-            self._run_until(self.committed + warmup, warmup * 100)
+            # cycle limit must be relative to the current cycle: sampled
+            # replay calls run() repeatedly on one pipeline instance
+            self._run_until(self.committed + warmup, self.cycle + warmup * 100)
             self.reset_stats()
         limit = max_cycles if max_cycles is not None else max_instructions * 100
         self._run_until(self.committed + max_instructions, self.cycle + limit)

@@ -43,11 +43,17 @@ from repro.lsq.arb import ARBConfig, ARBLSQ
 from repro.lsq.base import BaseLSQ
 from repro.lsq.conventional import ConventionalLSQ
 from repro.lsq.samie import SamieConfig, SamieLSQ
-from repro.workloads.registry import make_trace
+from repro.workloads.registry import (
+    TRACE_SCHEME,
+    has_workload,
+    make_trace,
+    resolve_trace_path,
+)
 from repro.workloads.spec2000 import SPEC2000_PROFILES
 
 #: bump when SimResult/semantics change so stale disk entries are ignored
-CACHE_VERSION = 1
+#: (2: key gained sampling-plan and trace-digest fields)
+CACHE_VERSION = 2
 
 
 def current_scale() -> tuple[int, int]:
@@ -178,13 +184,75 @@ def config_token(cfg: ProcessorConfig | None) -> str:
     return json.dumps(asdict(cfg), sort_keys=True, separators=(",", ":"), default=str)
 
 
+def _canonical_workload(workload: str) -> str:
+    """Registered trace aliases and relative ``trace:`` paths resolve to
+    one canonical ``trace:<abspath>`` name -- one file, one cache
+    identity, resolvable in pool workers regardless of their cwd."""
+    path = resolve_trace_path(workload)
+    if path is None:
+        return workload
+    return TRACE_SCHEME + os.path.abspath(path)
+
+
+def _trace_token(workload: str) -> str:
+    """Content digest of a ``trace:`` workload's file ("" for synthetic).
+
+    Binding the digest -- not just the path -- into the cache key means
+    overwriting a trace file invalidates its cached results.
+    """
+    path = resolve_trace_path(workload)
+    if path is None:
+        return ""
+    from repro.trace.format import trace_token
+
+    return trace_token(path)
+
+
+def _spec_key(
+    workload: str,
+    machine_key: str,
+    instructions: int,
+    warmup: int,
+    seed: int,
+    cfg: ProcessorConfig | None,
+    sample: tuple | None = None,
+) -> tuple:
+    """The one memo/disk-cache identity shared by every entry point.
+
+    Every component is a JSON-stable scalar (the disk cache compares the
+    key after a JSON round trip, which would turn a tuple into a list).
+    The workload is canonicalised here too, so the factory-based
+    :func:`run_one` and a :class:`SimSpec` naming the same trace by
+    alias, relative or absolute path share one cache identity -- and a
+    trace replay's seed is normalised away (recorded streams are
+    independent of it; distinct seeds must not duplicate cache entries).
+    """
+    canonical = _canonical_workload(workload)
+    return (
+        canonical,
+        machine_key,
+        instructions,
+        warmup,
+        0 if canonical.startswith(TRACE_SCHEME) else seed,
+        config_token(cfg),
+        "/".join(str(x) for x in sample) if sample else "",
+        _trace_token(workload),
+    )
+
+
 @dataclass(frozen=True)
 class SimSpec:
     """One simulation work item: everything a worker process needs.
 
     All fields are picklable; ``key`` is the stable memo/cache identity
     (``machine_key`` is required to uniquely name the LSQ geometry, as it
-    always has for the in-process memo).
+    always has for the in-process memo).  ``workload`` is a synthetic
+    profile name or a canonical ``trace:<path>`` replay name (session
+    -registered trace aliases are canonicalised by :meth:`make`, so specs
+    stay resolvable inside pool workers).  ``sample`` is an optional
+    ``(period, warmup, measure)`` systematic-sampling plan; when set, the
+    per-window plan warmup replaces the spec-level ``warmup`` and
+    ``instructions`` bounds the *measured* instruction count.
     """
 
     workload: str
@@ -194,6 +262,7 @@ class SimSpec:
     warmup: int
     seed: int = 1
     cfg: ProcessorConfig | None = None
+    sample: tuple[int, int, int] | None = None
 
     @classmethod
     def make(
@@ -204,30 +273,28 @@ class SimSpec:
         warmup: int | None = None,
         seed: int = 1,
         cfg: ProcessorConfig | None = None,
+        sample: tuple[int, int, int] | None = None,
     ) -> "SimSpec":
         """Build a spec for ``machine`` at the given (or environment) scale."""
         env_n, env_w = current_scale()
         key, spec = machine
         return cls(
-            workload=workload,
+            workload=_canonical_workload(workload),
             machine_key=key,
             lsq=spec,
             instructions=instructions if instructions is not None else env_n,
             warmup=warmup if warmup is not None else env_w,
             seed=seed,
             cfg=cfg,
+            sample=tuple(sample) if sample else None,
         )
 
     @property
     def key(self) -> tuple:
         """Stable memo key (shared with the factory-based :func:`run_one`)."""
-        return (
-            self.workload,
-            self.machine_key,
-            self.instructions,
-            self.warmup,
-            self.seed,
-            config_token(self.cfg),
+        return _spec_key(
+            self.workload, self.machine_key, self.instructions, self.warmup,
+            self.seed, self.cfg, self.sample,
         )
 
     @property
@@ -312,10 +379,17 @@ def clear_disk_cache() -> int:
 
 def run_spec(spec: SimSpec) -> SimResult:
     """Simulate one spec, no caching (the pure worker body)."""
-    if spec.workload not in SPEC2000_PROFILES:
+    if not has_workload(spec.workload):
         raise KeyError(f"unknown workload {spec.workload!r}")
     pipe = build_processor(build_lsq(spec.lsq), spec.cfg)
-    pipe.attach_trace(make_trace(spec.workload, spec.seed))
+    trace = make_trace(spec.workload, spec.seed)
+    if spec.sample:
+        from repro.trace.sampling import SamplePlan, run_sampled
+
+        return run_sampled(
+            pipe, trace, SamplePlan(*spec.sample), max_measured=spec.instructions
+        )
+    pipe.attach_trace(trace)
     return pipe.run(spec.instructions, warmup=spec.warmup)
 
 
@@ -348,14 +422,20 @@ def run_many(specs: Sequence[SimSpec], jobs: int | None = 1) -> list[SimResult]:
     path: workers are pure functions of their spec.
     """
     jobs = resolve_jobs(jobs)
-    seen: dict[tuple, SimSpec] = {}
+    # validate before touching keys: key construction stats trace files,
+    # and a missing file should surface as the documented KeyError
     for spec in specs:
-        if spec.workload not in SPEC2000_PROFILES:
+        if not has_workload(spec.workload):
             raise KeyError(f"unknown workload {spec.workload!r}")
+    # key construction walks the config and (for traces) stats the file;
+    # compute each spec's key exactly once for the whole batch
+    keys = [spec.key for spec in specs]
+    seen: dict[tuple, SimSpec] = {}
+    for spec, key in zip(specs, keys):
         # the key's machine_key stands in for the LSQ geometry; catch a
         # batch that maps one key to two different machines before any
         # result could be served to (or persisted for) the wrong spec
-        prior = seen.setdefault(spec.key, spec)
+        prior = seen.setdefault(key, spec)
         if prior.lsq != spec.lsq:
             raise ValueError(
                 f"machine_key {spec.machine_key!r} names two different LSQ "
@@ -363,8 +443,7 @@ def run_many(specs: Sequence[SimSpec], jobs: int | None = 1) -> list[SimResult]:
                 "uniquely identify the machine"
             )
     todo: dict[tuple, SimSpec] = {}
-    for spec in specs:
-        key = spec.key
+    for spec, key in zip(specs, keys):
         if key in _cache or key in todo:
             continue
         hit = _disk_load(key)
@@ -372,17 +451,19 @@ def run_many(specs: Sequence[SimSpec], jobs: int | None = 1) -> list[SimResult]:
             _cache[key] = hit
         else:
             todo[key] = spec
-    pending = list(todo.values())
+    pending = list(todo.items())
     if jobs <= 1 or len(pending) <= 1:
-        computed = [run_spec(s) for s in pending]
+        computed = [run_spec(s) for _, s in pending]
     else:
         chunk = max(1, len(pending) // (jobs * 4))
         with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-            computed = list(pool.map(_pool_worker, pending, chunksize=chunk))
-    for spec, result in zip(pending, computed):
-        _cache[spec.key] = result
-        _disk_store(spec.key, result)
-    return [_cache[spec.key] for spec in specs]
+            computed = list(
+                pool.map(_pool_worker, [s for _, s in pending], chunksize=chunk)
+            )
+    for (key, _), result in zip(pending, computed):
+        _cache[key] = result
+        _disk_store(key, result)
+    return [_cache[key] for key in keys]
 
 
 def sweep(
@@ -393,15 +474,17 @@ def sweep(
     seed: int = 1,
     jobs: int | None = 1,
 ) -> dict[tuple[str, str], SimResult]:
-    """Cross-product convenience: {(workload, machine_key): result}."""
+    """Cross-product convenience: {(workload, machine_key): result}.
+
+    Results are keyed by the workload names the caller passed (a trace
+    alias stays an alias here), even though the underlying specs carry
+    canonical names.
+    """
     machines = list(machines)
-    specs = [
-        SimSpec.make(w, m, instructions, warmup, seed)
-        for w in workloads
-        for m in machines
-    ]
+    pairs = [(w, m) for w in workloads for m in machines]
+    specs = [SimSpec.make(w, m, instructions, warmup, seed) for w, m in pairs]
     results = run_many(specs, jobs=jobs)
-    return {(s.workload, s.machine_key): r for s, r in zip(specs, results)}
+    return {(w, m[0]): r for (w, m), r in zip(pairs, results)}
 
 
 # -- legacy factory-based entry points ---------------------------------------
@@ -457,14 +540,14 @@ def run_one(
     stable key, so mixed factory/spec sessions never recompute a point.
     ``machine_key`` must uniquely name the machine the factory builds.
     """
-    if workload not in SPEC2000_PROFILES:
+    if not has_workload(workload):
         raise KeyError(f"unknown workload {workload!r}")
     env_n, env_w = current_scale()
     n = instructions if instructions is not None else env_n
     w = warmup if warmup is not None else env_w
     # cfg is part of the key: two runs of the same machine under different
     # processor configs (e.g. the fast-way ablation) must not collide
-    key = (workload, machine_key, n, w, seed, config_token(cfg))
+    key = _spec_key(workload, machine_key, n, w, seed, cfg)
     if key not in _cache:
         hit = _disk_load(key)
         if hit is not None:

@@ -75,6 +75,29 @@ class UOp:
         """Cache-line address (byte address >> line_shift)."""
         return self.addr >> line_shift
 
+    def as_tuple(self) -> tuple:
+        """Canonical value form ``(seq, pc, op, src1, src2, addr, size,
+        taken, target)``.
+
+        The single serialization contract shared by the trace format
+        (:mod:`repro.trace.format`) and the verify fuzzer's replay
+        tuples; two uops are behaviourally identical iff their tuples
+        are equal.
+        """
+        return (
+            self.seq, self.pc, int(self.op), self.src1, self.src2,
+            self.addr, self.size, self.taken, self.target,
+        )
+
+    @classmethod
+    def from_tuple(cls, t: tuple) -> "UOp":
+        """Rebuild a uop from :meth:`as_tuple` output."""
+        seq, pc, op, src1, src2, addr, size, taken, target = t
+        return cls(
+            seq, pc, OpClass(op), src1=src1, src2=src2,
+            addr=addr, size=size, taken=bool(taken), target=target,
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         extra = ""
         if self.is_mem:

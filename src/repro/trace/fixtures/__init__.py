@@ -1,0 +1,1 @@
+"""Bundled trace fixtures (no external tools needed in tests/CI)."""

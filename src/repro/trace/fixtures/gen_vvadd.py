@@ -1,0 +1,84 @@
+"""Regenerate ``spike_vvadd.log``, the bundled Spike commit-log fixture.
+
+Emulates the commit log a Spike run of a small ``vvadd`` kernel would
+produce, in the riscv-pythia line format (``[PC] (inst) rd wb-data``,
+no ``mem`` annotations) -- so tests and CI exercise the full
+register-file-replay address reconstruction without any external
+toolchain.  Deterministic by construction: rerunning this script must
+reproduce the committed fixture byte for byte.
+
+Usage::
+
+    python -m repro.trace.fixtures.gen_vvadd > spike_vvadd.log
+"""
+
+from __future__ import annotations
+
+N = 64                       # loop iterations
+A, B, C = 0x8001_0000, 0x8001_8000, 0x8002_0000
+
+
+def _lui(rd: int, imm20: int) -> int:
+    return (imm20 << 12) | (rd << 7) | 0x37
+
+
+def _addi(rd: int, rs1: int, imm: int) -> int:
+    return ((imm & 0xFFF) << 20) | (rs1 << 15) | (rd << 7) | 0x13
+
+
+def _ld(rd: int, rs1: int, imm: int) -> int:
+    return ((imm & 0xFFF) << 20) | (rs1 << 15) | (0x3 << 12) | (rd << 7) | 0x03
+
+
+def _sd(rs2: int, rs1: int, imm: int) -> int:
+    imm &= 0xFFF
+    return (
+        ((imm >> 5) << 25) | (rs2 << 20) | (rs1 << 15)
+        | (0x3 << 12) | ((imm & 0x1F) << 7) | 0x23
+    )
+
+
+def _add(rd: int, rs1: int, rs2: int) -> int:
+    return (rs2 << 20) | (rs1 << 15) | (rd << 7) | 0x33
+
+
+def _bne(rs1: int, rs2: int, offset: int) -> int:
+    imm = offset & 0x1FFF
+    return (
+        ((imm >> 12) & 0x1) << 31 | ((imm >> 5) & 0x3F) << 25 | (rs2 << 20)
+        | (rs1 << 15) | (0x1 << 12) | ((imm >> 1) & 0xF) << 8
+        | ((imm >> 11) & 0x1) << 7 | 0x63
+    )
+
+
+def emit() -> list[str]:
+    lines: list[str] = []
+
+    def commit(pc: int, inst: int, rd: int | None = None, val: int | None = None) -> None:
+        wb = f" x{rd:2d} 0x{val:016x}" if rd is not None else ""
+        lines.append(f"0x{pc:016x} (0x{inst:08x}){wb}")
+
+    pc = 0x8000_0000
+    commit(pc, _lui(10, A >> 12), 10, A); pc += 4
+    commit(pc, _lui(11, B >> 12), 11, B); pc += 4
+    commit(pc, _lui(12, C >> 12), 12, C); pc += 4
+    commit(pc, _addi(13, 0, N), 13, N); pc += 4
+    loop = pc
+    for i in range(N):
+        a_val, b_val = i * 3, i * 5
+        pc = loop
+        commit(pc, _ld(5, 10, 0), 5, a_val); pc += 4
+        commit(pc, _ld(6, 11, 0), 6, b_val); pc += 4
+        commit(pc, _add(7, 5, 6), 7, a_val + b_val); pc += 4
+        commit(pc, _sd(7, 12, 0)); pc += 4
+        commit(pc, _addi(10, 10, 8), 10, A + (i + 1) * 8); pc += 4
+        commit(pc, _addi(11, 11, 8), 11, B + (i + 1) * 8); pc += 4
+        commit(pc, _addi(12, 12, 8), 12, C + (i + 1) * 8); pc += 4
+        commit(pc, _addi(13, 13, -1), 13, N - i - 1); pc += 4
+        commit(pc, _bne(13, 0, loop - pc)); pc += 4
+    commit(pc, _addi(1, 0, 0), 1, 0)
+    return lines
+
+
+if __name__ == "__main__":
+    print("\n".join(emit()))

@@ -1,0 +1,294 @@
+"""SMARTS-style systematic interval sampling over any trace source.
+
+The full dynamic stream is cut into fixed ``period``-instruction
+intervals; from each interval the first ``warmup + measure`` uops are
+simulated in detail (``warmup`` with statistics discarded, ``measure``
+counted) and the rest are skipped.  With the synthetic workloads'
+stationary behaviour -- and with real traces long enough for the law of
+large numbers -- the measured IPC tracks the full-replay IPC at a
+fraction ``(warmup + measure) / period`` of the simulation cost.
+
+Known caveats (documented in ROADMAP.md):
+
+* cold structures after a skip gap bias windows *slow*; the per-window
+  detailed ``warmup`` re-heats them.  Empirically (this model, toy
+  scales) warmup of ~3x the measure window brings the bias under a few
+  percent.  Optional SMARTS-style *functional* warming
+  (:func:`functional_warmer`) touches caches/TLB/predictor for skipped
+  uops, but biases windows *fast* here: the detailed pipeline has no
+  MSHR merging, so in-flight duplicate misses -- a real cost in full
+  runs -- vanish when lines are pre-warmed.  It is therefore **off by
+  default**; detailed warm-up reproduces the model's own behaviour
+  faithfully.
+* measure windows should be long relative to the worst stall (>= ~500
+  instructions): a window absorbs stall tails in flight at its start
+  but is cut at its final commit, a ~stall/window-length asymmetry that
+  biases short windows slow.
+* producer distances crossing a splice boundary re-attach to the
+  previous window's tail; the bias is bounded by the max dependence
+  distance (48 in the synthetic ISA) per window.
+* results are deterministic but *not* bit-identical to full replay --
+  sampling error is the product being measured.  Use
+  :func:`attach_error` to quantify it against a full run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.core.pipeline import Pipeline, SimResult
+from repro.isa.uop import UOp
+
+
+@dataclass(frozen=True)
+class SamplePlan:
+    """Systematic sampling geometry, in instructions.
+
+    ``period`` is the interval length; each interval contributes its
+    first ``warmup`` uops (simulated, statistics discarded) and the
+    following ``measure`` uops (counted) to the detailed simulation.
+    """
+
+    period: int
+    warmup: int
+    measure: int
+
+    def __post_init__(self):
+        if self.period <= 0 or self.measure <= 0 or self.warmup < 0:
+            raise ValueError(f"bad sample plan {self}")
+        if self.warmup + self.measure > self.period:
+            raise ValueError(
+                f"warmup+measure ({self.warmup}+{self.measure}) exceeds "
+                f"period {self.period}"
+            )
+
+    @property
+    def simulated_per_period(self) -> int:
+        return self.warmup + self.measure
+
+    @property
+    def ratio(self) -> float:
+        """Measured fraction of the stream (the headline sampling ratio)."""
+        return self.measure / self.period
+
+    @property
+    def speedup(self) -> float:
+        """Ideal simulation-cost ratio vs full replay."""
+        return self.period / self.simulated_per_period
+
+    @classmethod
+    def from_ratio(
+        cls, ratio: float, period: int = 5000, warmup_frac: float = 3.0
+    ) -> "SamplePlan":
+        """Plan measuring ``ratio`` of the stream; per-window warmup is
+        ``warmup_frac`` x the measure window (~3x keeps the cold-start
+        bias in the low percent at these window sizes)."""
+        if not 0.0 < ratio < 1.0:
+            raise ValueError(f"sampling ratio must be in (0, 1), got {ratio}")
+        measure = max(1, round(period * ratio))
+        warmup = round(measure * warmup_frac)
+        if warmup + measure >= period:
+            raise ValueError(
+                f"ratio {ratio} with period {period} leaves nothing to skip "
+                f"(measure {measure} + warmup {warmup} fills the period); "
+                "use a smaller ratio/warmup_frac or plain full replay"
+            )
+        return cls(period=period, warmup=warmup, measure=measure)
+
+    def key(self) -> tuple[int, int, int]:
+        """Canonical cache-key fragment (see ``SimSpec.key``)."""
+        return (self.period, self.warmup, self.measure)
+
+
+class SampledStream:
+    """Re-sequenced view of a trace keeping only sampled windows.
+
+    Skipped uops are consumed from the source but not yielded; yielded
+    uops are renumbered densely (the pipeline's generator contract).
+    ``on_skip`` (when set) sees every skipped uop -- the functional
+    -warming hook.  ``consumed``/``yielded`` expose coverage.
+    """
+
+    def __init__(self, source: Iterable[UOp], plan: SamplePlan, on_skip=None):
+        self._it = iter(source)
+        self._plan = plan
+        self._on_skip = on_skip
+        self.consumed = 0
+        self.yielded = 0
+
+    def __iter__(self) -> Iterator[UOp]:
+        return self
+
+    def __next__(self) -> UOp:
+        keep = self._plan.simulated_per_period
+        period = self._plan.period
+        while True:
+            u = next(self._it)
+            pos = self.consumed % period
+            self.consumed += 1
+            if pos < keep:
+                v = UOp(
+                    self.yielded, u.pc, u.op, src1=u.src1, src2=u.src2,
+                    addr=u.addr, size=u.size, taken=u.taken, target=u.target,
+                )
+                self.yielded += 1
+                return v
+            if self._on_skip is not None:
+                self._on_skip(u)
+
+
+def functional_warmer(pipe: Pipeline):
+    """Per-uop hook keeping long-lived state warm across skip gaps.
+
+    Touches the D-cache/DTLB for memory ops, trains the branch predictor
+    and BTB on branch outcomes, and streams instruction lines through
+    the I-cache (one access per line change, like the fetch stage).  No
+    timing, ports or energy -- that is the whole point.  Warming
+    accesses *do* count in the hit/miss-rate statistics (they are real
+    program traffic, and the cache models have no stat-free access
+    path), so measured rates blend warmed and detailed traffic.
+    """
+    mem = pipe.mem
+    predictor = pipe.predictor
+    btb = pipe.btb
+    iline_shift = mem.l1i.line_shift
+    last_iline = [-1]
+
+    def warm(u: UOp) -> None:
+        iline = u.pc >> iline_shift
+        if iline != last_iline[0]:
+            last_iline[0] = iline
+            mem.iaccess(u.pc)
+        if u.is_mem:
+            mem.daccess(u.addr, write=u.is_store)
+        elif u.is_branch:
+            predictor.update(u.pc, u.taken, predicted=None)
+            if u.taken:
+                btb.update(u.pc, u.target)
+                last_iline[0] = -1
+
+    return warm
+
+
+def _merge_counts(into: dict, add: dict) -> None:
+    for k, v in add.items():
+        into[k] = into.get(k, 0) + v
+
+
+def _merge(windows: list[SimResult], plan: SamplePlan, stream: SampledStream,
+           simulated: int) -> SimResult:
+    instructions = sum(r.instructions for r in windows)
+    cycles = sum(r.cycles for r in windows)
+
+    def iw(getter) -> float:  # instruction-weighted mean over windows
+        if not instructions:
+            return 0.0
+        return sum(getter(r) * r.instructions for r in windows) / instructions
+
+    def cw(getter) -> float:  # cycle-weighted mean over windows
+        if not cycles:
+            return 0.0
+        return sum(getter(r) * r.cycles for r in windows) / cycles
+
+    energy: dict[str, float] = {}
+    cache_energy: dict[str, float] = {}
+    area: dict[str, float] = {}
+    lsq_stats: dict[str, int] = {}
+    for r in windows:
+        _merge_counts(energy, r.lsq_energy_pj)
+        _merge_counts(cache_energy, r.cache_energy_pj)
+        _merge_counts(area, r.area_um2_cycles)
+        _merge_counts(lsq_stats, r.lsq_stats)
+    return SimResult(
+        instructions=instructions,
+        cycles=cycles,
+        lsq_name=windows[0].lsq_name if windows else "",
+        lsq_energy_pj=energy,
+        cache_energy_pj=cache_energy,
+        area_um2_cycles=area,
+        deadlock_flushes=sum(r.deadlock_flushes for r in windows),
+        mispredict_rate=iw(lambda r: r.mispredict_rate),
+        l1d_miss_rate=iw(lambda r: r.l1d_miss_rate),
+        dtlb_miss_rate=iw(lambda r: r.dtlb_miss_rate),
+        lsq_stats=lsq_stats,
+        shared_occupancy_mean=cw(lambda r: r.shared_occupancy_mean),
+        shared_occupancy_p99=max((r.shared_occupancy_p99 for r in windows), default=0),
+        addr_buffer_busy_frac=cw(lambda r: r.addr_buffer_busy_frac),
+        data_violations=sum(r.data_violations for r in windows),
+        extra={
+            "sampling": {
+                "period": plan.period,
+                "warmup": plan.warmup,
+                "measure": plan.measure,
+                "ratio": plan.ratio,
+                "windows": len(windows),
+                "measured_instructions": instructions,
+                "simulated_instructions": simulated,
+                "source_uops_consumed": stream.consumed,
+            }
+        },
+    )
+
+
+def run_sampled(
+    pipe: Pipeline,
+    trace: Iterable[UOp],
+    plan: SamplePlan,
+    max_measured: int | None = None,
+    functional_warming: bool = False,
+) -> SimResult:
+    """Drive ``pipe`` over the sampled windows of ``trace``.
+
+    Each window runs as warm-up (statistics discarded, architectural
+    state kept hot) followed by a measured burst; window results are
+    aggregated into one :class:`SimResult` whose ``extra["sampling"]``
+    records the plan, window count and coverage.  ``functional_warming``
+    additionally feeds skipped uops through the caches/TLB/predictor
+    (see the module docstring for why it defaults off).  Stops when the
+    trace is exhausted or ``max_measured`` instructions have been
+    measured.
+    """
+    on_skip = functional_warmer(pipe) if functional_warming else None
+    stream = SampledStream(trace, plan, on_skip=on_skip)
+    pipe.attach_trace(stream)
+    windows: list[SimResult] = []
+    measured = 0
+    while max_measured is None or measured < max_measured:
+        want = plan.measure
+        if max_measured is not None:
+            want = min(want, max_measured - measured)
+        before = pipe.committed
+        if plan.warmup == 0:
+            # pipe.run only resets statistics on a non-zero warmup; a
+            # zero-warmup window must still start its counters fresh
+            pipe.reset_stats()
+        r = pipe.run(want, warmup=plan.warmup)
+        got = pipe.committed - before
+        if r.instructions > 0:
+            windows.append(r)
+            measured += r.instructions
+        if got < plan.warmup + want:  # trace exhausted mid-window
+            break
+    if not windows:
+        raise ValueError(
+            f"no complete sampling window: the source yielded "
+            f"{stream.consumed} uops but plan {plan.period}/{plan.warmup}/"
+            f"{plan.measure} needs more than {plan.warmup} simulated per "
+            "window; use a longer trace or a smaller plan"
+        )
+    return _merge(windows, plan, stream, simulated=pipe.committed)
+
+
+def attach_error(sampled: SimResult, full: SimResult) -> float:
+    """Record sampled-vs-full IPC error on the sampled result.
+
+    Returns the relative error ``|sampled.ipc - full.ipc| / full.ipc``
+    and stores it (with the full-replay IPC) under
+    ``extra["sampling"]``.
+    """
+    err = abs(sampled.ipc - full.ipc) / full.ipc if full.ipc else 0.0
+    sampled.extra.setdefault("sampling", {}).update(
+        {"full_ipc": full.ipc, "ipc_error_vs_full": err}
+    )
+    return err

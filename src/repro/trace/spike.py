@@ -1,0 +1,350 @@
+"""Parse Spike RISC-V commit logs into the :class:`~repro.isa.uop.UOp` stream.
+
+Supported line shapes (one committed instruction per line):
+
+* riscv-pythia style (Spike ``-l`` piped through its commit filter)::
+
+      0x0000000000002cd4 (0x05070113) x 2 0x0000000000025180
+
+  ``[PC] (inst) rd wb-data`` -- the writeback column is optional and the
+  register index may be separated from the ``x`` by spaces.
+
+* spike ``--log-commits`` style, with an optional ``core N:`` / privilege
+  prefix and an optional ``mem`` annotation::
+
+      core   0: 3 0x0000000080000044 (0x00a12423) mem 0x0000000080000f48 0x0a
+      core   0: 3 0x0000000080000048 (0x00812403) x8 0x0a mem 0x0000000080000f48
+
+Reconstruction strategy -- the log carries no explicit micro-architecture
+hints, so the parser rebuilds them:
+
+* **op class** from the RISC-V opcode (RV64IMAFD; the common RVC
+  load/store/branch/jump encodings are also decoded).
+* **effective addresses** from the ``mem`` annotation when present, else
+  from an architectural register file replayed out of the writeback
+  column (``addr = R[rs1] + imm``).  x0 is hard-wired to zero.  A memory
+  op whose base register value is still unknown (no writeback seen yet)
+  is demoted to ``INT_ALU`` and counted in ``SpikeStats.mem_unresolved``
+  -- honest degradation instead of a fabricated address.
+* **branch outcomes** from control flow: a branch/jump is *taken* when
+  the next committed PC differs from its fall-through PC.  Commit-log
+  gaps (exceptions, interrupts) therefore read as taken branches only on
+  branch instructions; non-branch discontinuities are counted in
+  ``SpikeStats.pc_gaps``.
+* **producer distances** (``src1``/``src2``) from the last-writer
+  sequence number of each architectural register (integer and FP files
+  tracked separately), capped at the trace format's 16-bit distance.
+
+The synthetic-trace contract (dense seq, sizes 1/2/4/8) is preserved, so
+ingested programs run through every existing consumer unchanged.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.isa.opclasses import OpClass
+from repro.isa.uop import UOp
+from repro.trace.format import MAX_SRC_DISTANCE, TraceInfo, write_trace
+
+_LINE = re.compile(
+    r"^(?:core\s+\d+:\s*)?(?:\d+\s+)?"
+    r"0x(?P<pc>[0-9a-fA-F]+)\s+\((?P<inst>0x[0-9a-fA-F]+)\)(?P<rest>.*)$"
+)
+_WB = re.compile(r"\b(?P<file>[xf])\s*(?P<rd>\d+)\s+0x(?P<val>[0-9a-fA-F]+)")
+_MEM = re.compile(r"\bmem\s+0x(?P<addr>[0-9a-fA-F]+)")
+
+
+@dataclass
+class SpikeStats:
+    """What the parser saw and what it could not reconstruct."""
+
+    lines: int = 0
+    decoded: int = 0
+    skipped_lines: int = 0      #: lines that match no known shape
+    mem_unresolved: int = 0     #: memory ops demoted (unknown base register)
+    compressed: int = 0
+    pc_gaps: int = 0            #: non-branch control-flow discontinuities
+    op_counts: dict[str, int] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        parts = [
+            f"lines={self.lines}", f"decoded={self.decoded}",
+            f"skipped={self.skipped_lines}", f"compressed={self.compressed}",
+            f"mem_unresolved={self.mem_unresolved}", f"pc_gaps={self.pc_gaps}",
+        ]
+        ops = " ".join(f"{k}={v}" for k, v in sorted(self.op_counts.items()))
+        return " ".join(parts) + (f" | {ops}" if ops else "")
+
+
+def _sext(value: int, bits: int) -> int:
+    sign = 1 << (bits - 1)
+    return (value & (sign - 1)) - (value & sign)
+
+
+@dataclass
+class _Decoded:
+    """Architectural facts of one instruction, before stream context.
+
+    ``rs1``/``rs2``/``rd`` are register indices into the integer file
+    unless the matching ``*_fp`` flag says they name an f register --
+    the two files have separate last-writer tables (an f index must
+    never alias the x register of the same number)."""
+
+    kind: str                 # "load" | "store" | "branch" | "jump" | "alu"
+    op: OpClass = OpClass.INT_ALU
+    rd: int | None = None     # destination (dependence tracking)
+    rs1: int | None = None
+    rs2: int | None = None
+    rd_fp: bool = False
+    rs1_fp: bool = False
+    rs2_fp: bool = False
+    size: int = 0
+    imm: int = 0              # address offset for memory ops
+    base: int | None = None   # base register for memory ops
+    length: int = 4
+
+
+def _decode32(inst: int) -> _Decoded:
+    opcode = inst & 0x7F
+    rd = (inst >> 7) & 0x1F
+    rs1 = (inst >> 15) & 0x1F
+    rs2 = (inst >> 20) & 0x1F
+    funct3 = (inst >> 12) & 0x7
+    funct7 = (inst >> 25) & 0x7F
+    if opcode in (0x03, 0x07):  # LOAD / LOAD-FP
+        return _Decoded(
+            "load", OpClass.LOAD, rd=rd, rd_fp=opcode == 0x07, rs1=rs1,
+            size=1 << (funct3 & 0x3), imm=_sext(inst >> 20, 12), base=rs1,
+        )
+    if opcode in (0x23, 0x27):  # STORE / STORE-FP
+        imm = _sext(((inst >> 25) << 5) | ((inst >> 7) & 0x1F), 12)
+        return _Decoded(
+            "store", OpClass.STORE, rs1=rs1, rs2=rs2, rs2_fp=opcode == 0x27,
+            size=1 << (funct3 & 0x3), imm=imm, base=rs1,
+        )
+    if opcode == 0x2F:  # AMO: read-modify-write; model the cache-facing load
+        return _Decoded(
+            "load", OpClass.LOAD, rd=rd, rs1=rs1, rs2=rs2,
+            size=1 << (funct3 & 0x3), imm=0, base=rs1,
+        )
+    if opcode == 0x63:  # BRANCH
+        return _Decoded("branch", OpClass.BRANCH, rs1=rs1, rs2=rs2)
+    if opcode == 0x6F:  # JAL
+        return _Decoded("jump", OpClass.BRANCH, rd=rd)
+    if opcode == 0x67:  # JALR
+        return _Decoded("jump", OpClass.BRANCH, rd=rd, rs1=rs1)
+    if opcode in (0x33, 0x3B):  # OP / OP-32
+        if funct7 == 0x01:  # M extension
+            op = OpClass.INT_MULT if funct3 < 4 else OpClass.INT_DIV
+            return _Decoded("alu", op, rd=rd, rs1=rs1, rs2=rs2)
+        return _Decoded("alu", OpClass.INT_ALU, rd=rd, rs1=rs1, rs2=rs2)
+    if opcode in (0x13, 0x1B):  # OP-IMM / OP-IMM-32
+        return _Decoded("alu", OpClass.INT_ALU, rd=rd, rs1=rs1)
+    if opcode in (0x37, 0x17):  # LUI / AUIPC
+        return _Decoded("alu", OpClass.INT_ALU, rd=rd)
+    if opcode == 0x53:  # OP-FP (rs1 is an x register only for FCVT/FMV-from-int)
+        rs1_fp = funct7 not in (0x68, 0x69, 0x78, 0x79)
+        if funct7 in (0x08, 0x09):
+            op = OpClass.FP_MULT
+        elif funct7 in (0x0C, 0x0D, 0x2C, 0x2D):
+            op = OpClass.FP_DIV
+        else:
+            op = OpClass.FP_ALU
+        return _Decoded("alu", op, rd=rd, rd_fp=True,
+                        rs1=rs1, rs1_fp=rs1_fp, rs2=rs2, rs2_fp=True)
+    if opcode in (0x43, 0x47, 0x4B, 0x4F):  # FMADD family
+        return _Decoded("alu", OpClass.FP_MULT, rd=rd, rd_fp=True,
+                        rs1=rs1, rs1_fp=True, rs2=rs2, rs2_fp=True)
+    # SYSTEM, MISC-MEM, custom -- keep the slot occupied, single cycle
+    return _Decoded("alu", OpClass.INT_ALU)
+
+
+def _decode16(inst: int) -> _Decoded:
+    """The RVC subset that matters for memory/control reconstruction."""
+    inst &= 0xFFFF
+    quadrant = inst & 0x3
+    funct3 = (inst >> 13) & 0x7
+    d = _Decoded("alu", OpClass.INT_ALU, length=2)
+    if quadrant == 0x0:
+        rs1 = ((inst >> 7) & 0x7) + 8
+        rd = ((inst >> 2) & 0x7) + 8
+        if funct3 == 0x2:  # C.LW
+            imm = (((inst >> 10) & 0x7) << 3) | (((inst >> 6) & 0x1) << 2) | (((inst >> 5) & 0x1) << 6)
+            return _Decoded("load", OpClass.LOAD, rd=rd, size=4, imm=imm, base=rs1, length=2)
+        if funct3 == 0x3:  # C.LD
+            imm = (((inst >> 10) & 0x7) << 3) | (((inst >> 5) & 0x3) << 6)
+            return _Decoded("load", OpClass.LOAD, rd=rd, size=8, imm=imm, base=rs1, length=2)
+        if funct3 == 0x6:  # C.SW
+            imm = (((inst >> 10) & 0x7) << 3) | (((inst >> 6) & 0x1) << 2) | (((inst >> 5) & 0x1) << 6)
+            return _Decoded("store", OpClass.STORE, rs2=rd, size=4, imm=imm, base=rs1, length=2)
+        if funct3 == 0x7:  # C.SD
+            imm = (((inst >> 10) & 0x7) << 3) | (((inst >> 5) & 0x3) << 6)
+            return _Decoded("store", OpClass.STORE, rs2=rd, size=8, imm=imm, base=rs1, length=2)
+        return d
+    if quadrant == 0x1:
+        if funct3 == 0x5:  # C.J
+            return _Decoded("jump", OpClass.BRANCH, length=2)
+        if funct3 in (0x6, 0x7):  # C.BEQZ / C.BNEZ
+            return _Decoded("branch", OpClass.BRANCH, rs1=((inst >> 7) & 0x7) + 8, length=2)
+        rd = (inst >> 7) & 0x1F
+        return _Decoded("alu", OpClass.INT_ALU, rd=rd or None, length=2)
+    if quadrant == 0x2:
+        rd = (inst >> 7) & 0x1F
+        if funct3 == 0x2:  # C.LWSP
+            imm = (((inst >> 4) & 0x7) << 2) | (((inst >> 12) & 0x1) << 5) | (((inst >> 2) & 0x3) << 6)
+            return _Decoded("load", OpClass.LOAD, rd=rd, size=4, imm=imm, base=2, length=2)
+        if funct3 == 0x3:  # C.LDSP
+            imm = (((inst >> 5) & 0x3) << 3) | (((inst >> 12) & 0x1) << 5) | (((inst >> 2) & 0x7) << 6)
+            return _Decoded("load", OpClass.LOAD, rd=rd, size=8, imm=imm, base=2, length=2)
+        if funct3 == 0x6:  # C.SWSP
+            imm = (((inst >> 9) & 0xF) << 2) | (((inst >> 7) & 0x3) << 6)
+            return _Decoded("store", OpClass.STORE, rs2=(inst >> 2) & 0x1F, size=4, imm=imm, base=2, length=2)
+        if funct3 == 0x7:  # C.SDSP
+            imm = (((inst >> 10) & 0x7) << 3) | (((inst >> 7) & 0x7) << 6)
+            return _Decoded("store", OpClass.STORE, rs2=(inst >> 2) & 0x1F, size=8, imm=imm, base=2, length=2)
+        if funct3 == 0x4 and ((inst >> 2) & 0x1F) == 0 and ((inst >> 7) & 0x1F) != 0:
+            return _Decoded("jump", OpClass.BRANCH, rs1=(inst >> 7) & 0x1F, length=2)  # C.JR/C.JALR
+        return _Decoded("alu", OpClass.INT_ALU, rd=rd or None, length=2)
+    return d
+
+
+@dataclass
+class _Line:
+    pc: int
+    inst: int
+    wb_rd: int | None      # integer-file writeback (feeds address replay)
+    wb_val: int | None
+    wb_frd: int | None     # f-file writeback (dependence tracking only)
+    mem_addr: int | None
+
+
+def _parse_line(line: str) -> _Line | None:
+    m = _LINE.match(line.strip())
+    if m is None:
+        return None
+    rest = m.group("rest")
+    wb = _WB.search(rest)
+    mem = _MEM.search(rest)
+    # the two register files are tracked separately: an ``f``-register
+    # value must never clobber the x-register of the same index
+    # (addresses are always computed from x registers)
+    is_int_wb = wb is not None and wb.group("file") == "x"
+    return _Line(
+        pc=int(m.group("pc"), 16),
+        inst=int(m.group("inst"), 16),
+        wb_rd=int(wb.group("rd")) if is_int_wb else None,
+        wb_val=int(wb.group("val"), 16) if is_int_wb else None,
+        wb_frd=int(wb.group("rd")) if wb is not None and not is_int_wb else None,
+        mem_addr=int(mem.group("addr"), 16) if mem else None,
+    )
+
+
+def parse_spike_log(
+    lines: Iterable[str], stats: SpikeStats | None = None
+) -> Iterator[UOp]:
+    """Decode a commit log into a dense uop stream.
+
+    ``lines`` is any iterable of text lines (an open file works).  Pass a
+    :class:`SpikeStats` to collect parse/reconstruction counters; they
+    are final once iteration completes.
+    """
+    st = stats if stats is not None else SpikeStats()
+    regs: list[int | None] = [None] * 32   # architectural int register file
+    regs[0] = 0
+    last_writer: list[int | None] = [None] * 32
+    last_writer_f: list[int | None] = [None] * 32
+    seq = 0
+    prev: tuple[_Line, _Decoded] | None = None
+
+    def dist(reg: int | None, fp: bool = False) -> int:
+        if reg is None or (reg == 0 and not fp):  # x0 only is hard-wired
+            return 0
+        w = (last_writer_f if fp else last_writer)[reg]
+        if w is None:
+            return 0
+        d = seq - w
+        return d if 0 < d <= MAX_SRC_DISTANCE else 0
+
+    def emit(line: _Line, dec: _Decoded, next_pc: int | None) -> UOp:
+        nonlocal seq
+        kind, op = dec.kind, dec.op
+        addr = 0
+        size = 0
+        taken = False
+        target = 0
+        if kind in ("load", "store"):
+            if line.mem_addr is not None:
+                addr = line.mem_addr
+            elif dec.base is not None and regs[dec.base] is not None:
+                addr = (regs[dec.base] + dec.imm) & ((1 << 64) - 1)
+            else:
+                st.mem_unresolved += 1
+                kind, op = "alu", OpClass.INT_ALU
+            if kind != "alu":
+                size = dec.size
+        if kind in ("branch", "jump"):
+            fallthrough = line.pc + dec.length
+            if kind == "jump":
+                taken = True
+                target = next_pc if next_pc is not None else 0
+                if target == fallthrough:  # e.g. jalr used as a fence
+                    taken, target = False, 0
+            elif next_pc is not None and next_pc != fallthrough:
+                taken = True
+                target = next_pc
+        elif next_pc is not None and next_pc != line.pc + dec.length:
+            st.pc_gaps += 1
+        src1 = dist(dec.rs1, dec.rs1_fp)
+        src2 = dist(dec.rs2, dec.rs2_fp)
+        u = UOp(seq, line.pc, op, src1=src1, src2=src2,
+                addr=addr, size=size, taken=taken, target=target)
+        # retire: writeback updates the replayed register files
+        if line.wb_rd is not None and line.wb_rd != 0:
+            regs[line.wb_rd] = line.wb_val
+            last_writer[line.wb_rd] = seq
+        elif dec.rd is not None and dec.rd != 0 and not dec.rd_fp:
+            # destination written but value not logged: poison it so a
+            # later address computed from it is demoted, not fabricated
+            regs[dec.rd] = None
+            last_writer[dec.rd] = seq
+        if line.wb_frd is not None:
+            last_writer_f[line.wb_frd] = seq
+        elif dec.rd_fp and dec.rd is not None and line.wb_rd is None:
+            # unlogged f destination (the wb_rd guard keeps FP->int ops
+            # like FEQ/FCVT.W.D, mislabelled rd_fp by decode, out)
+            last_writer_f[dec.rd] = seq
+        st.decoded += 1
+        st.op_counts[op.name] = st.op_counts.get(op.name, 0) + 1
+        seq += 1
+        return u
+
+    for text in lines:
+        st.lines += 1
+        line = _parse_line(text)
+        if line is None:
+            if text.strip():
+                st.skipped_lines += 1
+            continue
+        dec = _decode16(line.inst) if (line.inst & 0x3) != 0x3 else _decode32(line.inst)
+        if dec.length == 2:
+            st.compressed += 1
+        if prev is not None:
+            yield emit(prev[0], prev[1], line.pc)
+        prev = (line, dec)
+    if prev is not None:
+        yield emit(prev[0], prev[1], None)
+
+
+def ingest_spike_log(
+    log_path: str, out_path: str, meta: dict | None = None
+) -> tuple[TraceInfo, SpikeStats]:
+    """Parse ``log_path`` and write a ``.uoptrace`` to ``out_path``."""
+    stats = SpikeStats()
+    base_meta = {"source": "spike", "log": log_path}
+    base_meta.update(meta or {})
+    with open(log_path) as fh:
+        info = write_trace(out_path, parse_spike_log(fh, stats), meta=base_meta)
+    return info, stats

@@ -126,15 +126,19 @@ def generate_program(
 
 
 def uop_tuple(u: UOp) -> tuple:
-    """Canonical serialisable form of one uop (reports, equality checks)."""
-    return (u.seq, u.pc, u.op.name, u.src1, u.src2, u.addr, u.size, u.taken, u.target)
+    """Canonical serialisable form of one uop (reports, equality checks).
+
+    JSON-friendly variant of :meth:`repro.isa.uop.UOp.as_tuple` -- the op
+    class travels by *name* so campaign reports stay human-readable.
+    """
+    t = u.as_tuple()
+    return t[:2] + (u.op.name,) + t[3:]
 
 
 def uop_from_tuple(t: tuple) -> UOp:
     """Rebuild a uop serialised with :func:`uop_tuple`."""
-    seq, pc, op, src1, src2, addr, size, taken, target = t
-    return UOp(seq, pc, OpClass[op], src1=src1, src2=src2, addr=addr,
-               size=size, taken=bool(taken), target=target)
+    seq, pc, op, *rest = t
+    return UOp.from_tuple((seq, pc, OpClass[op] if isinstance(op, str) else op, *rest))
 
 
 @dataclass(frozen=True)

@@ -20,8 +20,17 @@ from repro.workloads.patterns import (
     StackPattern,
 )
 from repro.workloads.analysis import TraceStats, analyse, analyse_workload, compare_workloads
-from repro.workloads.registry import get_workload, list_workloads, make_trace
-from repro.workloads.spec2000 import SPEC2000_PROFILES, SPEC_INT, SPEC_FP
+from repro.workloads.registry import (
+    get_workload,
+    has_workload,
+    list_workloads,
+    make_trace,
+    paper_order,
+    register_trace_workload,
+    trace_workloads,
+    unregister_trace_workload,
+)
+from repro.workloads.spec2000 import PAPER_ORDER, SPEC2000_PROFILES, SPEC_INT, SPEC_FP
 
 __all__ = [
     "WorkloadProfile",
@@ -34,8 +43,14 @@ __all__ = [
     "HotRandom",
     "StackPattern",
     "get_workload",
+    "has_workload",
     "list_workloads",
     "make_trace",
+    "paper_order",
+    "register_trace_workload",
+    "trace_workloads",
+    "unregister_trace_workload",
+    "PAPER_ORDER",
     "SPEC2000_PROFILES",
     "SPEC_INT",
     "SPEC_FP",

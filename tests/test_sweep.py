@@ -97,11 +97,11 @@ class TestStableKey:
 
 
 class TestRunMany:
-    def test_parallel_matches_serial(self):
+    def test_parallel_matches_serial(self, monkeypatch):
         specs = _suite_specs()
         parallel = run_many(specs, jobs=4)
         clear_cache()
-        os.environ["REPRO_CACHE"] = "0"  # force real recomputation
+        monkeypatch.setenv("REPRO_CACHE", "0")  # force real recomputation
         serial = run_many(specs, jobs=1)
         assert parallel == serial  # SimResult dataclass equality, field by field
         assert [r.lsq_name for r in serial[1::2]] == ["samie"] * len(THREE)
