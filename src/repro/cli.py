@@ -30,6 +30,14 @@ results bit-identical to the serial path.  Completed simulations are also
 persisted to an on-disk JSON cache (``~/.cache/samie-repro``, override
 with ``REPRO_CACHE_DIR``), so a second invocation at the same scale is
 served from disk; ``--no-cache`` (or ``REPRO_CACHE=0``) disables it.
+
+``run``, ``figure``, ``all`` and ``trace replay`` also accept
+``--mem KEY=V[,KEY=V...]`` -- declarative memory-hierarchy overrides
+(MemConfig fields plus ``l1d_sets``/``l1d_ways`` sugar), e.g.
+``--mem mshr_entries=4,l1d_sets=128``.  Overrides are part of the result
+-cache identity, so geometry sweeps never collide.
+``--mem mshr_entries=1,mshr_targets=1`` selects the blocking-cache model
+(pre-MSHR timing).
 """
 
 from __future__ import annotations
@@ -94,12 +102,44 @@ def _print_result(workload: str, res) -> None:
             )
 
 
+#: sentinel returned by :func:`_parse_mem` after reporting a bad --mem
+#: (callers exit with the usage code; a bad override never tracebacks)
+_MEM_ERROR = object()
+
+
+def _parse_mem(args: argparse.Namespace):
+    """``args.mem`` -> a validated override tuple (None when absent).
+
+    Parses the field names *and* eagerly builds the hierarchy the spec
+    describes, so value errors that only surface at construction time
+    (zero MSHR entries, non-power-of-two set counts) fail here with the
+    constructor's message.  On any problem the message is printed to
+    stderr and :data:`_MEM_ERROR` returned; callers ``return 2``.
+    """
+    from repro.experiments.runner import parse_mem_overrides, validate_mem_spec
+
+    if getattr(args, "mem", None) is None:
+        return None
+    try:
+        mem = parse_mem_overrides(args.mem)
+        validate_mem_spec(mem)
+    except ValueError as e:
+        print(e, file=sys.stderr)
+        return _MEM_ERROR
+    return mem
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    import json
+
     from repro.experiments.runner import SimSpec, run_many
     from repro.trace.format import TraceError
     from repro.workloads.registry import TRACE_SCHEME
 
     machine = _run_machine(args.lsq)
+    mem = _parse_mem(args)
+    if mem is _MEM_ERROR:
+        return 2
     for w in args.workload:
         # synthetic typos keep their KeyError contract; a mistyped trace
         # path is a file problem and deserves a file message
@@ -107,7 +147,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"{w[len(TRACE_SCHEME):]}: no such trace file", file=sys.stderr)
             return 1
     specs = [
-        SimSpec.make(w, machine, args.instructions, args.warmup, args.seed)
+        SimSpec.make(w, machine, args.instructions, args.warmup, args.seed, mem=mem)
         for w in args.workload
     ]
     try:
@@ -117,8 +157,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # `trace replay` does, not with a traceback
         print(e, file=sys.stderr)
         return 1
+    if args.json:
+        # write the report before printing: a consumer that closes stdout
+        # early (| head) must not cost the artifact
+        doc = [
+            {"workload": w, "machine": machine[0],
+             "mem": dict(mem) if mem else {}, "result": res.to_dict()}
+            for w, res in zip(args.workload, results)
+        ]
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
     for w, res in zip(args.workload, results):
         _print_result(w, res)
+    if args.json:
+        print(f"report written to {args.json}")
     return 0
 
 
@@ -157,8 +210,11 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     if args.id not in EXPERIMENTS:
         print(f"unknown experiment {args.id!r}; choose from {EXPERIMENTS}", file=sys.stderr)
         return 2
+    mem = _parse_mem(args)
+    if mem is _MEM_ERROR:
+        return 2
     mod = importlib.import_module(f"repro.experiments.{args.id}")
-    result = mod.compute(jobs=args.jobs)
+    result = mod.compute(jobs=args.jobs, mem=mem)
     print(result.to_text())
     if args.id in _BAR_COLUMNS:
         from repro.experiments.report import bar_chart
@@ -172,11 +228,14 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 def _cmd_all(args: argparse.Namespace) -> int:
     out_dir = getattr(args, "out", None)
+    mem = _parse_mem(args)
+    if mem is _MEM_ERROR:
+        return 2
     if out_dir:
         os.makedirs(out_dir, exist_ok=True)
     for exp in EXPERIMENTS:
         mod = importlib.import_module(f"repro.experiments.{exp}")
-        result = mod.compute(jobs=args.jobs)
+        result = mod.compute(jobs=args.jobs, mem=mem)
         text = result.to_text()
         print(text)
         print()
@@ -269,6 +328,9 @@ def _cmd_trace_replay(args: argparse.Namespace) -> int:
               "plan warms each window); drop it", file=sys.stderr)
         return 2
     machine = _run_machine(args.lsq)
+    mem = _parse_mem(args)
+    if mem is _MEM_ERROR:
+        return 2
     name = spec_name(args.path)
     n = args.instructions if args.instructions is not None else info.count
     sample = None
@@ -280,9 +342,9 @@ def _cmd_trace_replay(args: argparse.Namespace) -> int:
             return 2
         sample = plan.key()
     specs = [SimSpec.make(name, machine, n, args.warmup if sample is None else 0,
-                          args.seed, sample=sample)]
+                          args.seed, sample=sample, mem=mem)]
     if sample is not None and args.check_full:
-        specs.append(SimSpec.make(name, machine, n, args.warmup, args.seed))
+        specs.append(SimSpec.make(name, machine, n, args.warmup, args.seed, mem=mem))
     try:
         results = run_many(specs, jobs=args.jobs)
     except TraceError as e:
@@ -350,6 +412,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         profiles=profiles,
         fault=fault,
         minimize=not args.no_minimize,
+        artifact_dir=args.artifacts,
     )
     report = run_campaign(cfg)
     print(report.summary_text())
@@ -388,6 +451,12 @@ def main(argv: list[str] | None = None) -> int:
                        help="parallel simulation workers (0 = one per core)")
         p.add_argument("--no-cache", action="store_true",
                        help="disable the on-disk result cache (REPRO_CACHE=0)")
+        p.add_argument("--mem", default=None, metavar="K=V[,K=V...]",
+                       help="memory-hierarchy overrides (MemConfig fields "
+                            "plus l1d_sets/l1d_ways sugar), e.g. "
+                            "--mem mshr_entries=4,l1d_sets=128; "
+                            "mshr_entries=1,mshr_targets=1 restores the "
+                            "blocking-cache model")
 
     run_p = sub.add_parser("run", help="simulate one or more workloads")
     run_p.add_argument("workload", nargs="+")
@@ -396,6 +465,8 @@ def main(argv: list[str] | None = None) -> int:
     run_p.add_argument("--instructions", type=int, default=20000)
     run_p.add_argument("--warmup", type=int, default=5000)
     run_p.add_argument("--seed", type=int, default=1)
+    run_p.add_argument("--json", default=None, metavar="PATH",
+                       help="also write the results as a JSON report here")
     add_sweep_flags(run_p)
     run_p.set_defaults(fn=_cmd_run)
 
@@ -446,8 +517,10 @@ def main(argv: list[str] | None = None) -> int:
     rep_p.add_argument("--sample-ratio", type=float, default=None, metavar="R",
                        help="systematic sampling: measure fraction R of the "
                             "stream (e.g. 0.1)")
-    rep_p.add_argument("--sample-period", type=int, default=5000,
-                       help="sampling interval length in instructions")
+    rep_p.add_argument("--sample-period", type=int, default=10000,
+                       help="sampling interval length in instructions "
+                            "(long periods keep splice boundaries rare "
+                            "relative to MSHR stall backlogs)")
     rep_p.add_argument("--check-full", action="store_true",
                        help="also run the full replay and report the "
                             "sampled-vs-full IPC error")
@@ -482,6 +555,9 @@ def main(argv: list[str] | None = None) -> int:
                        help="skip delta-debugging of diverging programs")
     ver_p.add_argument("--json", default=None, metavar="PATH",
                        help="write the JSON campaign report here")
+    ver_p.add_argument("--artifacts", default=None, metavar="DIR",
+                       help="write each diverging program as a replayable "
+                            ".uoptrace artifact in DIR (cross-session repro)")
     ver_p.set_defaults(fn=_cmd_verify)
 
     args = parser.parse_args(argv)

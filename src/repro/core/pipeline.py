@@ -282,6 +282,8 @@ class Pipeline:
             if head.uop.is_store:
                 if head.placement is None:
                     return  # cannot write the cache before disambiguation
+                if self.mem.daccess_blocked(head.uop.addr):
+                    return  # MSHR exhausted: retry the writeback next cycle
                 if not self.mem.dports.try_acquire():
                     return  # no write port this cycle
                 self._store_writeback(head)
@@ -351,6 +353,9 @@ class Pipeline:
                     ld.load_value = tuple(route.store.seq for _ in range(ld.uop.size))
                 self._schedule(self.cycle + 1, "mem", ld)
             else:
+                if self.mem.daccess_blocked(ld.uop.addr):
+                    still.append(ld)  # structural stall: MSHRs exhausted
+                    continue
                 if not self.mem.dports.try_acquire():
                     still.append(ld)
                     continue
@@ -607,6 +612,7 @@ class Pipeline:
         for tlb in (self.mem.itlb, self.mem.dtlb):
             tlb.hits.reset()
             tlb.misses.reset()
+        self.mem.reset_mshr_stats()
         self.data_violations.clear()
         self.committed_load_values.clear()
 
@@ -675,4 +681,5 @@ class Pipeline:
                 self.addr_buffer_busy_cycles / cycles if cycles else 0.0
             ),
             data_violations=len(self.data_violations),
+            extra={"mshr": self.mem.mshr_stats()},
         )

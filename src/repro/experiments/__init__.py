@@ -20,6 +20,9 @@ from repro.experiments.runner import (
     lsq_spec,
     machine_arb,
     machine_samie_unbounded_shared,
+    mem_spec,
+    parse_mem_overrides,
+    validate_mem_spec,
     run_many,
     run_one,
     run_pair,
@@ -39,6 +42,9 @@ __all__ = [
     "lsq_spec",
     "machine_arb",
     "machine_samie_unbounded_shared",
+    "mem_spec",
+    "parse_mem_overrides",
+    "validate_mem_spec",
     "run_many",
     "run_one",
     "run_pair",

@@ -32,6 +32,7 @@ def compute(
     warmup: int | None = None,
     configs: list[tuple[int, int]] | None = None,
     jobs: int | None = 1,
+    mem: tuple | dict | None = None,
 ) -> FigureResult:
     """Regenerate Figure 1 (mean over ``workloads``)."""
     names = workloads if workloads is not None else REPRESENTATIVE_WORKLOADS
@@ -42,7 +43,8 @@ def compute(
         # the paper's "half" series halves the allowed in-flight memory
         # instructions (for 1x128 this is "1 bank with 64 addresses")
         machines.append(machine_arb(banks, max(1, addrs // 2), 64, tag="half"))
-    specs = [SimSpec.make(w, m, instructions, warmup) for m in machines for w in names]
+    specs = [SimSpec.make(w, m, instructions, warmup, mem=mem)
+             for m in machines for w in names]
     ipc = {
         (s.workload, s.machine_key): r.ipc
         for s, r in zip(specs, run_many(specs, jobs=jobs))

@@ -18,9 +18,10 @@ def compute(
     instructions: int | None = None,
     warmup: int | None = None,
     jobs: int | None = 1,
+    mem: tuple | dict | None = None,
 ) -> FigureResult:
     """Regenerate Figure 11 (um^2 x cycles per committed instruction)."""
-    pairs = suite_pairs(workloads, instructions, warmup, jobs=jobs)
+    pairs = suite_pairs(workloads, instructions, warmup, jobs=jobs, mem=mem)
     rows = []
     total_base = 0.0
     total_samie = 0.0

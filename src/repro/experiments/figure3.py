@@ -22,11 +22,13 @@ def compute(
     instructions: int | None = None,
     warmup: int | None = None,
     jobs: int | None = 1,
+    mem: tuple | dict | None = None,
 ) -> FigureResult:
     """Regenerate Figure 3 (one batched workload x geometry sweep)."""
     names = workloads if workloads is not None else sorted(SPEC2000_PROFILES)
     machines = [machine_samie_unbounded_shared(b, e) for b, e in GEOMETRIES]
-    specs = [SimSpec.make(w, m, instructions, warmup) for w in names for m in machines]
+    specs = [SimSpec.make(w, m, instructions, warmup, mem=mem)
+             for w in names for m in machines]
     results = run_many(specs, jobs=jobs)
     occ = {
         (s.workload, s.machine_key): r.shared_occupancy_mean

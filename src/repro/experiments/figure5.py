@@ -17,9 +17,10 @@ def compute(
     instructions: int | None = None,
     warmup: int | None = None,
     jobs: int | None = 1,
+    mem: tuple | dict | None = None,
 ) -> FigureResult:
     """Regenerate Figure 5."""
-    pairs = suite_pairs(workloads, instructions, warmup, jobs=jobs)
+    pairs = suite_pairs(workloads, instructions, warmup, jobs=jobs, mem=mem)
     rows = []
     losses = []
     worst = ("", -1e9)

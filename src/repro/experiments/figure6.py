@@ -15,9 +15,10 @@ def compute(
     instructions: int | None = None,
     warmup: int | None = None,
     jobs: int | None = 1,
+    mem: tuple | dict | None = None,
 ) -> FigureResult:
     """Regenerate Figure 6."""
-    pairs = suite_pairs(workloads, instructions, warmup, jobs=jobs)
+    pairs = suite_pairs(workloads, instructions, warmup, jobs=jobs, mem=mem)
     rows = []
     rates = {}
     for w, (_, samie) in pairs.items():

@@ -19,9 +19,10 @@ def compute(
     instructions: int | None = None,
     warmup: int | None = None,
     jobs: int | None = 1,
+    mem: tuple | dict | None = None,
 ) -> FigureResult:
     """Regenerate Figure 8 (percent shares per component)."""
-    pairs = suite_pairs(workloads, instructions, warmup, jobs=jobs)
+    pairs = suite_pairs(workloads, instructions, warmup, jobs=jobs, mem=mem)
     rows = []
     pressure_shared = []
     for w, (_, samie) in pairs.items():

@@ -33,12 +33,13 @@ import hashlib
 import json
 import os
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, fields, replace
 from typing import Callable, Iterable, Sequence
 
 from repro.core.config import ProcessorConfig
 from repro.core.pipeline import SimResult
 from repro.core.processor import build_processor
+from repro.mem.hierarchy import MemConfig
 from repro.lsq.arb import ARBConfig, ARBLSQ
 from repro.lsq.base import BaseLSQ
 from repro.lsq.conventional import ConventionalLSQ
@@ -52,8 +53,10 @@ from repro.workloads.registry import (
 from repro.workloads.spec2000 import SPEC2000_PROFILES
 
 #: bump when SimResult/semantics change so stale disk entries are ignored
-#: (2: key gained sampling-plan and trace-digest fields)
-CACHE_VERSION = 2
+#: (2: key gained sampling-plan and trace-digest fields; 3: non-blocking
+#: memory hierarchy with MSHR merging changed default timings, the key
+#: gained a MemConfig-override field, and sampled runs warm functionally)
+CACHE_VERSION = 3
 
 
 def current_scale() -> tuple[int, int]:
@@ -137,6 +140,97 @@ def build_lsq(spec: LSQSpec) -> BaseLSQ:
     raise ValueError(f"unknown LSQ kind {kind!r}")
 
 
+# -- declarative MemConfig overrides (picklable; part of SimSpec.key) --------
+
+#: MemConfig field names accepted by :func:`mem_spec`
+_MEM_FIELDS = frozenset(f.name for f in fields(MemConfig))
+#: geometry sugar resolved against the (overridden) assoc/line size
+_MEM_SUGAR = frozenset({"l1d_sets", "l1d_ways"})
+
+#: ((field, value), ...) -- small, immutable, picklable
+MemSpec = tuple
+
+
+def mem_spec(**overrides) -> MemSpec:
+    """Declarative memory-hierarchy override set for ``SimSpec.mem``.
+
+    Keys are :class:`~repro.mem.hierarchy.MemConfig` field names plus the
+    ``l1d_sets``/``l1d_ways`` sugar (resolved to ``l1d_size``/``l1d_assoc``
+    against the configured line size), e.g.
+    ``mem_spec(mshr_entries=4, l1d_sets=128)``.
+    """
+    for k in overrides:
+        if k not in _MEM_FIELDS and k not in _MEM_SUGAR:
+            raise ValueError(
+                f"unknown MemConfig field {k!r}; choose from "
+                f"{sorted(_MEM_FIELDS | _MEM_SUGAR)}"
+            )
+    if "l1d_ways" in overrides and "l1d_assoc" in overrides:
+        # the sugar names the same knob; resolving a conflict silently
+        # would cache a config the user never asked for
+        raise ValueError("specify either l1d_ways or l1d_assoc, not both")
+    return tuple(sorted(overrides.items()))
+
+
+def validate_mem_spec(spec: MemSpec) -> None:
+    """Eagerly construct the hierarchy ``spec`` describes.
+
+    Bad *values* (zero MSHR entries, a non-power-of-two set count) only
+    surface when the cache structures are built; constructing one here
+    lets CLI/driver code fail fast with the constructor's message instead
+    of tracebacking mid-sweep.  Raises ``ValueError`` on a bad spec.
+    """
+    from repro.mem.hierarchy import MemoryHierarchy
+
+    MemoryHierarchy(make_mem_config(spec))
+
+
+def parse_mem_overrides(text: str) -> MemSpec:
+    """``"mshr_entries=4,l1d_sets=128"`` -> a validated :func:`mem_spec`.
+
+    The CLI's ``--mem`` syntax; values are integers.
+    """
+    kw: dict[str, int] = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, val = part.partition("=")
+        if not sep:
+            raise ValueError(f"--mem expects key=value pairs, got {part!r}")
+        try:
+            kw[key.strip()] = int(val)
+        except ValueError:
+            raise ValueError(f"--mem value for {key.strip()!r} must be an "
+                             f"integer, got {val!r}") from None
+    if not kw:
+        raise ValueError("--mem given but no overrides parsed")
+    return mem_spec(**kw)
+
+
+def make_mem_config(spec: MemSpec | None, base: MemConfig | None = None) -> MemConfig:
+    """Apply a :func:`mem_spec` override set on top of ``base`` (or defaults)."""
+    base = base if base is not None else MemConfig()
+    if not spec:
+        return base
+    kw = dict(spec)
+    ways = kw.pop("l1d_ways", None)
+    if ways is not None:
+        kw["l1d_assoc"] = ways  # mem_spec rejects ways+assoc together
+    sets = kw.pop("l1d_sets", None)
+    if sets is not None:
+        line = kw.get("l1d_line", base.l1d_line)
+        kw["l1d_size"] = sets * kw.get("l1d_assoc", base.l1d_assoc) * line
+    return replace(base, **kw)
+
+
+def _mem_token(spec: MemSpec | None) -> str:
+    """JSON-stable scalar identity of a mem-override set ("" for none)."""
+    if not spec:
+        return ""
+    return "/".join(f"{k}={v}" for k, v in spec)
+
+
 # -- canonical machines: (machine_key, lsq_spec) pairs -----------------------
 
 #: paper baseline: 128-entry fully-associative LSQ
@@ -216,6 +310,7 @@ def _spec_key(
     seed: int,
     cfg: ProcessorConfig | None,
     sample: tuple | None = None,
+    mem: MemSpec | None = None,
 ) -> tuple:
     """The one memo/disk-cache identity shared by every entry point.
 
@@ -237,6 +332,7 @@ def _spec_key(
         config_token(cfg),
         "/".join(str(x) for x in sample) if sample else "",
         _trace_token(workload),
+        _mem_token(mem),
     )
 
 
@@ -252,7 +348,11 @@ class SimSpec:
     stay resolvable inside pool workers).  ``sample`` is an optional
     ``(period, warmup, measure)`` systematic-sampling plan; when set, the
     per-window plan warmup replaces the spec-level ``warmup`` and
-    ``instructions`` bounds the *measured* instruction count.
+    ``instructions`` bounds the *measured* instruction count.  ``mem`` is
+    an optional :func:`mem_spec` override set applied on top of the
+    config's :class:`~repro.mem.hierarchy.MemConfig`, so one grid can
+    cross cache geometry (l1d sets/ways, MSHR entries/targets, TLB size)
+    with LSQ geometry.
     """
 
     workload: str
@@ -263,6 +363,7 @@ class SimSpec:
     seed: int = 1
     cfg: ProcessorConfig | None = None
     sample: tuple[int, int, int] | None = None
+    mem: MemSpec | None = None
 
     @classmethod
     def make(
@@ -274,6 +375,7 @@ class SimSpec:
         seed: int = 1,
         cfg: ProcessorConfig | None = None,
         sample: tuple[int, int, int] | None = None,
+        mem: MemSpec | dict | None = None,
     ) -> "SimSpec":
         """Build a spec for ``machine`` at the given (or environment) scale."""
         env_n, env_w = current_scale()
@@ -287,6 +389,9 @@ class SimSpec:
             seed=seed,
             cfg=cfg,
             sample=tuple(sample) if sample else None,
+            mem=mem_spec(**mem) if isinstance(mem, dict) else (
+                mem_spec(**dict(mem)) if mem else None
+            ),
         )
 
     @property
@@ -294,7 +399,7 @@ class SimSpec:
         """Stable memo key (shared with the factory-based :func:`run_one`)."""
         return _spec_key(
             self.workload, self.machine_key, self.instructions, self.warmup,
-            self.seed, self.cfg, self.sample,
+            self.seed, self.cfg, self.sample, self.mem,
         )
 
     @property
@@ -381,7 +486,11 @@ def run_spec(spec: SimSpec) -> SimResult:
     """Simulate one spec, no caching (the pure worker body)."""
     if not has_workload(spec.workload):
         raise KeyError(f"unknown workload {spec.workload!r}")
-    pipe = build_processor(build_lsq(spec.lsq), spec.cfg)
+    cfg = spec.cfg
+    if spec.mem:
+        base = cfg or ProcessorConfig()
+        cfg = replace(base, mem=make_mem_config(spec.mem, base.mem))
+    pipe = build_processor(build_lsq(spec.lsq), cfg)
     trace = make_trace(spec.workload, spec.seed)
     if spec.sample:
         from repro.trace.sampling import SamplePlan, run_sampled
@@ -473,16 +582,19 @@ def sweep(
     warmup: int | None = None,
     seed: int = 1,
     jobs: int | None = 1,
+    mem: MemSpec | dict | None = None,
 ) -> dict[tuple[str, str], SimResult]:
     """Cross-product convenience: {(workload, machine_key): result}.
 
     Results are keyed by the workload names the caller passed (a trace
     alias stays an alias here), even though the underlying specs carry
-    canonical names.
+    canonical names.  ``mem`` applies one :func:`mem_spec` override set
+    to every point; for a cache-geometry cross-product build the
+    ``SimSpec`` batch directly with per-point ``mem=`` values.
     """
     machines = list(machines)
     pairs = [(w, m) for w in workloads for m in machines]
-    specs = [SimSpec.make(w, m, instructions, warmup, seed) for w, m in pairs]
+    specs = [SimSpec.make(w, m, instructions, warmup, seed, mem=mem) for w, m in pairs]
     results = run_many(specs, jobs=jobs)
     return {(w, m[0]): r for (w, m), r in zip(pairs, results)}
 
@@ -565,11 +677,12 @@ def run_pair(
     instructions: int | None = None,
     warmup: int | None = None,
     seed: int = 1,
+    mem: MemSpec | dict | None = None,
 ) -> tuple[SimResult, SimResult]:
     """(conventional, SAMIE) results for one workload."""
     specs = [
-        SimSpec.make(workload, MACHINE_CONV128, instructions, warmup, seed),
-        SimSpec.make(workload, MACHINE_SAMIE, instructions, warmup, seed),
+        SimSpec.make(workload, MACHINE_CONV128, instructions, warmup, seed, mem=mem),
+        SimSpec.make(workload, MACHINE_SAMIE, instructions, warmup, seed, mem=mem),
     ]
     base, samie = run_many(specs, jobs=1)
     return base, samie
@@ -581,16 +694,18 @@ def suite_pairs(
     warmup: int | None = None,
     seed: int = 1,
     jobs: int | None = 1,
+    mem: MemSpec | dict | None = None,
 ) -> dict[str, tuple[SimResult, SimResult]]:
     """Conventional-vs-SAMIE results for a set of workloads (default all).
 
     The whole suite is submitted as one :func:`run_many` batch, so with
     ``jobs > 1`` the 2 x N simulations fan out over the process pool.
+    ``mem`` applies a :func:`mem_spec` override set to every point.
     """
     names = workloads if workloads is not None else sorted(SPEC2000_PROFILES)
     specs = []
     for w in names:
-        specs.append(SimSpec.make(w, MACHINE_CONV128, instructions, warmup, seed))
-        specs.append(SimSpec.make(w, MACHINE_SAMIE, instructions, warmup, seed))
+        specs.append(SimSpec.make(w, MACHINE_CONV128, instructions, warmup, seed, mem=mem))
+        specs.append(SimSpec.make(w, MACHINE_SAMIE, instructions, warmup, seed, mem=mem))
     results = run_many(specs, jobs=jobs)
     return {w: (results[2 * i], results[2 * i + 1]) for i, w in enumerate(names)}

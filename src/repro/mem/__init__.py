@@ -1,9 +1,10 @@
-"""Memory hierarchy substrate: caches, TLBs, ports, latency model."""
+"""Memory hierarchy substrate: caches, TLBs, ports, MSHRs, latency model."""
 
 from repro.mem.cache import Cache, CacheStats, AccessResult
 from repro.mem.tlb import TLB
 from repro.mem.ports import PortPool
-from repro.mem.hierarchy import MemoryHierarchy, MemConfig
+from repro.mem.mshr import MSHRFile, MSHRStats
+from repro.mem.hierarchy import MemoryHierarchy, MemConfig, DAccessOutcome
 
 __all__ = [
     "Cache",
@@ -11,6 +12,9 @@ __all__ = [
     "AccessResult",
     "TLB",
     "PortPool",
+    "MSHRFile",
+    "MSHRStats",
     "MemoryHierarchy",
     "MemConfig",
+    "DAccessOutcome",
 ]

@@ -1,9 +1,19 @@
-"""Composite memory hierarchy: L1I, L1D, unified L2, ITLB, DTLB.
+"""Composite memory hierarchy: L1I, L1D, unified L2, ITLB, DTLB, MSHRs.
 
 Latency model (Table 2 of the paper): L1I 1 cycle; L1D 2 cycles, 4 R/W
 ports; L2 10-cycle hit / 100-cycle miss; TLBs 1 cycle.  TLB misses add a
 software-walk penalty (configurable, default 30 cycles, SimpleScalar's
 default).
+
+The hierarchy is *non-blocking*: primary misses allocate a miss-status
+holding register (:mod:`repro.mem.mshr`) recording when the fill
+completes, and later accesses to an in-flight line *merge* into that
+entry -- they stall only until fill completion instead of paying a fresh
+miss.  When the MSHR file (or an entry's target slots) is exhausted the
+access is structurally stalled: :meth:`daccess_blocked` reports it and
+the pipeline retries next cycle.  The degenerate geometry
+``mshr_entries=1, mshr_targets=1`` short-circuits all of this and
+reproduces the historical blocking-cache cycle counts bit-identically.
 
 The paper's performance study deliberately does *not* exploit the lower
 access time of known-way accesses (§3.6); ``fast_way_hit_latency`` exists
@@ -16,13 +26,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.mem.cache import Cache, AccessResult
+from repro.mem.mshr import MSHRFile
 from repro.mem.ports import PortPool
 from repro.mem.tlb import TLB
 
 
 @dataclass
 class MemConfig:
-    """Memory hierarchy geometry and latencies (defaults = paper Table 2)."""
+    """Memory hierarchy geometry and latencies (defaults = paper Table 2).
+
+    Picklable and declaratively overridable per sweep point: the sweep
+    engine's ``SimSpec.mem`` carries ``(field, value)`` overrides of this
+    dataclass (with ``l1d_sets``/``l1d_ways`` sugar), so cache-geometry x
+    LSQ-geometry cross-product grids share the memo/disk-cache machinery.
+    """
 
     l1i_size: int = 64 * 1024
     l1i_assoc: int = 2
@@ -45,6 +62,12 @@ class MemConfig:
     page_bytes: int = 4096
     tlb_miss_latency: int = 30
 
+    #: miss-status holding registers per cache side (non-blocking fills);
+    #: ``mshr_entries=1, mshr_targets=1`` degenerates to a blocking cache
+    #: that reproduces the pre-MSHR model bit-identically
+    mshr_entries: int = 8
+    mshr_targets: int = 4
+
     #: L1D hit latency when the physical way is known (ablation only);
     #: None means "same as l1d_latency" (the paper's evaluated configuration).
     fast_way_hit_latency: int | None = None
@@ -55,14 +78,25 @@ class DAccessOutcome:
     """Timing and placement outcome of one data-side access."""
 
     latency: int
-    l1: AccessResult
+    l1: AccessResult | None
     l1_hit: bool
     l2_hit: bool
     tlb_hit: bool
+    #: access folded into an outstanding fill (stalls until completion)
+    merged: bool = False
+    #: primary miss that allocated an MSHR entry
+    mshr_fill: bool = False
+    #: structurally stalled (MSHR entry/target exhaustion): no state was
+    #: touched and the caller must retry a later cycle
+    blocked: bool = False
+
+
+#: sentinel outcome for a structurally stalled access (no side effects)
+_BLOCKED = DAccessOutcome(0, None, False, False, False, blocked=True)
 
 
 class MemoryHierarchy:
-    """Owns the caches/TLBs and computes end-to-end access latencies."""
+    """Owns the caches/TLBs/MSHRs and computes end-to-end access latencies."""
 
     def __init__(self, cfg: MemConfig | None = None):
         self.cfg = cfg or MemConfig()
@@ -73,13 +107,51 @@ class MemoryHierarchy:
         self.itlb = TLB(c.tlb_entries, c.page_bytes, c.tlb_miss_latency)
         self.dtlb = TLB(c.tlb_entries, c.page_bytes, c.tlb_miss_latency)
         self.dports = PortPool(c.l1d_ports, "l1d")
+        self.dmshr = MSHRFile(c.mshr_entries, c.mshr_targets, "dmshr")
+        self.imshr = MSHRFile(c.mshr_entries, c.mshr_targets, "imshr")
+        #: advanced by :meth:`new_cycle`; the clock MSHR fills retire on
+        self.cycle = 0
 
     # ------------------------------------------------------------------
     def new_cycle(self) -> None:
-        """Release per-cycle resources (D-cache ports)."""
+        """Advance the hierarchy clock: release ports, retire completed
+        fills (freeing their MSHR entries for new misses)."""
+        self.cycle += 1
         self.dports.new_cycle()
+        if not self.dmshr.blocking:
+            self.dmshr.retire(self.cycle)
+            self.imshr.retire(self.cycle)
 
     # ------------------------------------------------------------------
+    def _miss_latency(self, addr: int, write: bool) -> tuple[int, bool]:
+        """(latency beyond L1, L2 hit?) of a line fill for ``addr``."""
+        c = self.cfg
+        l2res = self.l2.access(addr >> self.l2.line_shift, write)
+        return (c.l2_hit_latency if l2res.hit else c.l2_miss_latency), l2res.hit
+
+    def daccess_blocked(self, addr: int) -> bool:
+        """Would a data access structurally stall on MSHR exhaustion?
+
+        The pipeline polls this before claiming a port; each ``True``
+        adds one stall-cycle to the MSHR stats (duration, not count).
+        """
+        mshr = self.dmshr
+        if mshr.blocking:
+            return False
+        line = addr >> self.l1d.line_shift
+        entry = mshr.lookup(line)
+        if entry is not None:
+            if not mshr.can_merge(entry):
+                mshr.stats.target_stall_cycles += 1
+                return True
+            return False
+        if self.l1d.probe(line) is not None:
+            return False
+        if not mshr.can_allocate():
+            mshr.stats.entry_stall_cycles += 1
+            return True
+        return False
+
     def daccess(
         self,
         addr: int,
@@ -93,10 +165,43 @@ class MemoryHierarchy:
         ``way_known`` models a presentBit hit (identical latency unless the
         fast-way ablation is enabled).  Energy is accounted by the caller
         (it depends on the LSQ model); this method handles placement and
-        timing only.
+        timing only.  A structurally stalled access (see
+        :meth:`daccess_blocked`) returns a ``blocked`` outcome with no
+        state touched; callers normally pre-check and retry instead.
         """
         c = self.cfg
         line = addr >> self.l1d.line_shift
+        if self.dmshr.blocking:
+            # blocking cache: the historical model, charged synchronously
+            tlb_hit = True
+            latency = 0
+            if not skip_tlb:
+                tlb_hit = self.dtlb.access(addr)
+                if not tlb_hit:
+                    latency += self.dtlb.miss_latency
+            l1res = self.l1d.access(line, write)
+            l2_hit = True
+            if l1res.hit:
+                if way_known and c.fast_way_hit_latency is not None:
+                    latency += c.fast_way_hit_latency
+                else:
+                    latency += c.l1d_latency
+            else:
+                miss_lat, l2_hit = self._miss_latency(addr, write)
+                latency += c.l1d_latency + miss_lat
+            return DAccessOutcome(latency, l1res, l1res.hit, l2_hit, tlb_hit)
+
+        # non-blocking: resolve the MSHR question before touching state,
+        # so a blocked access leaves caches/TLB stats untouched
+        entry = self.dmshr.lookup(line)
+        if entry is not None and not self.dmshr.can_merge(entry):
+            self.dmshr.stats.target_stall_cycles += 1
+            return _BLOCKED
+        primary_miss = entry is None and self.l1d.probe(line) is None
+        if primary_miss and not self.dmshr.can_allocate():
+            self.dmshr.stats.entry_stall_cycles += 1
+            return _BLOCKED
+
         tlb_hit = True
         latency = 0
         if not skip_tlb:
@@ -104,32 +209,88 @@ class MemoryHierarchy:
             if not tlb_hit:
                 latency += self.dtlb.miss_latency
         l1res = self.l1d.access(line, write)
-        l2_hit = True
+        if entry is not None:
+            # secondary access: the data arrives with the in-flight fill
+            self.dmshr.merge(entry)
+            latency += max(c.l1d_latency, entry.ready_cycle - self.cycle)
+            return DAccessOutcome(latency, l1res, l1res.hit, True, tlb_hit,
+                                  merged=True)
         if l1res.hit:
             if way_known and c.fast_way_hit_latency is not None:
                 latency += c.fast_way_hit_latency
             else:
                 latency += c.l1d_latency
-        else:
-            l2line = addr >> self.l2.line_shift
-            l2res = self.l2.access(l2line, write)
-            l2_hit = l2res.hit
-            latency += c.l1d_latency
-            latency += c.l2_hit_latency if l2_hit else c.l2_miss_latency
-        return DAccessOutcome(latency, l1res, l1res.hit, l2_hit, tlb_hit)
+            return DAccessOutcome(latency, l1res, True, True, tlb_hit)
+        # primary miss: start the fill and track it until completion
+        miss_lat, l2_hit = self._miss_latency(addr, write)
+        fill_lat = c.l1d_latency + miss_lat
+        self.dmshr.allocate(line, self.cycle + fill_lat)
+        latency += fill_lat
+        return DAccessOutcome(latency, l1res, False, l2_hit, tlb_hit,
+                              mshr_fill=True)
 
     # ------------------------------------------------------------------
     def iaccess(self, pc: int) -> int:
-        """Fetch-side access for the instruction at ``pc``; returns latency."""
+        """Fetch-side access for the instruction at ``pc``; returns latency.
+
+        The fetch stage blocks on the returned latency rather than
+        retrying, so I-side MSHR exhaustion falls back to blocking-style
+        accounting (full miss latency, nothing tracked) instead of a
+        structural stall.
+        """
         c = self.cfg
         tlb_hit = self.itlb.access(pc)
         latency = 0 if tlb_hit else self.itlb.miss_latency
         line = pc >> self.l1i.line_shift
+        mshr = self.imshr
+        if not mshr.blocking:
+            entry = mshr.lookup(line)
+            if entry is not None and mshr.merge(entry):
+                self.l1i.access(line, write=False)
+                return latency + max(c.l1i_latency, entry.ready_cycle - self.cycle)
         res = self.l1i.access(line, write=False)
         if res.hit:
-            latency += c.l1i_latency
-        else:
-            l2res = self.l2.access(pc >> self.l2.line_shift, write=False)
-            latency += c.l1i_latency
-            latency += c.l2_hit_latency if l2res.hit else c.l2_miss_latency
-        return latency
+            return latency + c.l1i_latency
+        miss_lat, _ = self._miss_latency(pc, write=False)
+        fill_lat = c.l1i_latency + miss_lat
+        if not mshr.blocking:
+            if mshr.can_allocate():
+                mshr.allocate(line, self.cycle + fill_lat)
+            else:
+                mshr.stats.fallback_blocking += 1
+        return latency + fill_lat
+
+    # ------------------------------------------------------------------
+    # functional-warming paths (trace sampling): touch long-lived state
+    # -- L1 caches, TLBs, LRU -- without ports, MSHRs or timing, so
+    # skipped uops cannot leak in-flight miss state into the detailed
+    # windows.  The L2 is deliberately NOT warmed: its content under
+    # capacity pressure is extremely sensitive to the exact L1+MSHR
+    # -filtered access stream, which a program-order functional replay
+    # cannot reproduce -- empirically, warming it flips 100-cycle L2
+    # misses into 10-cycle hits wholesale and biases sampled windows
+    # fast, while leaving it to the per-window detailed warmup stays
+    # within the sampling error budget (see tests/test_sampling_accuracy
+    # .py and ROADMAP.md "Trace subsystem").
+    # ------------------------------------------------------------------
+    def warm_daccess(self, addr: int, write: bool) -> None:
+        """Stat-visible data-side touch with no MSHR/port/timing effects."""
+        self.dtlb.access(addr)
+        self.l1d.access(addr >> self.l1d.line_shift, write)
+
+    def warm_iaccess(self, pc: int) -> None:
+        """Stat-visible fetch-side touch with no MSHR/timing effects."""
+        self.itlb.access(pc)
+        self.l1i.access(pc >> self.l1i.line_shift, write=False)
+
+    # ------------------------------------------------------------------
+    def mshr_stats(self) -> dict[str, int]:
+        """Flat D-side + I-side MSHR counters (``SimResult.extra['mshr']``)."""
+        out = self.dmshr.stats_dict("d_")
+        out.update(self.imshr.stats_dict("i_"))
+        return out
+
+    def reset_mshr_stats(self) -> None:
+        """Zero the MSHR counters (in-flight fills stay outstanding)."""
+        self.dmshr.stats = type(self.dmshr.stats)()
+        self.imshr.stats = type(self.imshr.stats)()

@@ -1,0 +1,131 @@
+"""Miss-status holding registers (MSHRs) for non-blocking caches.
+
+An :class:`MSHRFile` tracks cache-line fills in flight: a *primary* miss
+allocates an entry (consuming one of its target slots for the missing
+access itself) and records the cycle its fill completes; a *secondary*
+access to the same line while the fill is outstanding *merges* into the
+entry by taking another target slot and stalls only until fill
+completion, instead of paying a full miss or re-requesting the line.
+When every entry is busy a new primary miss cannot start -- a structural
+stall the pipeline models by retrying the access each cycle; likewise a
+secondary access finding its entry's target slots exhausted waits for
+the fill.
+
+The degenerate geometry ``entries=1, targets=1`` is a *blocking* cache:
+the single entry's single slot belongs to the primary miss, so nothing
+can ever overlap it.  In this latency-accounting model a blocking miss
+is charged synchronously to the access (the machine stalls through it),
+so :attr:`MSHRFile.blocking` short-circuits the whole mechanism and the
+hierarchy reproduces the pre-MSHR model's cycle counts bit-identically
+(guarded by ``tests/test_mshr.py``).
+
+Miss merging follows standard memory-system practice (cf. the cache
+-simulation methodology of arXiv:1406.5000 and the in-flight allocation
+concerns of arXiv:2311.08198).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class MSHRStats:
+    """Aggregate MSHR event counts.
+
+    ``*_stall_cycles`` count access-cycles an operation was held off --
+    every cycle the pipeline polls a structurally blocked access adds
+    one -- so they measure stall *duration*, not distinct stalled ops.
+    """
+
+    allocations: int = 0
+    merges: int = 0
+    retired: int = 0
+    entry_stall_cycles: int = 0
+    target_stall_cycles: int = 0
+    fallback_blocking: int = 0  # i-side: exhausted file served blocking-style
+    peak_inflight: int = 0
+
+
+class MSHREntry:
+    """One outstanding line fill."""
+
+    __slots__ = ("line", "ready_cycle", "targets_used")
+
+    def __init__(self, line: int, ready_cycle: int):
+        self.line = line
+        self.ready_cycle = ready_cycle
+        self.targets_used = 1  # the primary miss holds the first slot
+
+
+class MSHRFile:
+    """A file of miss-status holding registers with per-entry target slots."""
+
+    def __init__(self, entries: int, targets: int, name: str = "mshr"):
+        if entries < 1 or targets < 1:
+            raise ValueError("need at least one MSHR entry and one target slot")
+        self.name = name
+        self.entries = entries
+        self.targets = targets
+        #: 1x1 cannot overlap anything: the hierarchy treats it as the
+        #: blocking-cache model (see module docstring)
+        self.blocking = entries == 1 and targets == 1
+        self._inflight: dict[int, MSHREntry] = {}
+        self.stats = MSHRStats()
+
+    # -- queries -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    def lookup(self, line: int) -> MSHREntry | None:
+        """The outstanding fill for ``line``, or None."""
+        return self._inflight.get(line)
+
+    def can_allocate(self) -> bool:
+        """True when a new primary miss can take an entry."""
+        return len(self._inflight) < self.entries
+
+    def can_merge(self, entry: MSHREntry) -> bool:
+        """True when ``entry`` still has a free target slot."""
+        return entry.targets_used < self.targets
+
+    # -- state changes -----------------------------------------------------
+    def allocate(self, line: int, ready_cycle: int) -> MSHREntry:
+        """Start tracking a primary miss; fill completes at ``ready_cycle``."""
+        if not self.can_allocate():
+            raise RuntimeError(f"{self.name}: no free MSHR entry")
+        if line in self._inflight:
+            raise RuntimeError(f"{self.name}: line {line:#x} already in flight")
+        entry = MSHREntry(line, ready_cycle)
+        self._inflight[line] = entry
+        self.stats.allocations += 1
+        if len(self._inflight) > self.stats.peak_inflight:
+            self.stats.peak_inflight = len(self._inflight)
+        return entry
+
+    def merge(self, entry: MSHREntry) -> bool:
+        """Fold a secondary access into ``entry``; False when slots are full."""
+        if not self.can_merge(entry):
+            return False
+        entry.targets_used += 1
+        self.stats.merges += 1
+        return True
+
+    def retire(self, cycle: int) -> int:
+        """Release every entry whose fill has completed by ``cycle``."""
+        if not self._inflight:
+            return 0
+        done = [line for line, e in self._inflight.items() if e.ready_cycle <= cycle]
+        for line in done:
+            del self._inflight[line]
+        self.stats.retired += len(done)
+        return len(done)
+
+    def flush(self) -> None:
+        """Drop all in-flight state (testing aid; fills are not squashed
+        by pipeline flushes -- memory traffic already left the core)."""
+        self._inflight.clear()
+
+    def stats_dict(self, prefix: str = "") -> dict[str, int]:
+        """Flat ``{prefix+field: count}`` snapshot for SimResult.extra."""
+        return {prefix + k: v for k, v in vars(self.stats).items()}

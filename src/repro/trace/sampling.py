@@ -11,15 +11,21 @@ fraction ``(warmup + measure) / period`` of the simulation cost.
 Known caveats (documented in ROADMAP.md):
 
 * cold structures after a skip gap bias windows *slow*; the per-window
-  detailed ``warmup`` re-heats them.  Empirically (this model, toy
-  scales) warmup of ~3x the measure window brings the bias under a few
-  percent.  Optional SMARTS-style *functional* warming
-  (:func:`functional_warmer`) touches caches/TLB/predictor for skipped
-  uops, but biases windows *fast* here: the detailed pipeline has no
-  MSHR merging, so in-flight duplicate misses -- a real cost in full
-  runs -- vanish when lines are pre-warmed.  It is therefore **off by
-  default**; detailed warm-up reproduces the model's own behaviour
-  faithfully.
+  detailed ``warmup`` re-heats them, and SMARTS-style *functional*
+  warming (:func:`functional_warmer`) additionally touches the L1
+  caches, TLBs and branch predictor for every skipped uop.  Functional
+  warming is **on by default** since the detailed model gained MSHR
+  miss-merging: full runs now pay the real cost of duplicate in-flight
+  misses themselves (secondary accesses stall until fill completion),
+  so pre-warmed L1 lines no longer erase a stall the full model would
+  have charged.  The **L2 is deliberately not warmed**: its content
+  under capacity pressure depends on the exact L1+MSHR-filtered miss
+  stream, which program-order replay cannot reproduce -- warming it
+  turns window L2 misses into hits wholesale and biases fast.  Pass
+  ``functional_warming=False`` to reproduce the historical detailed
+  -warmup-only behaviour.  Warming uses the hierarchy's stat-visible
+  ``warm_*`` paths, which bypass MSHRs and ports so skipped uops
+  cannot leak in-flight miss state into a measured window.
 * measure windows should be long relative to the worst stall (>= ~500
   instructions): a window absorbs stall tails in flight at its start
   but is cut at its final commit, a ~stall/window-length asymmetry that
@@ -79,11 +85,13 @@ class SamplePlan:
 
     @classmethod
     def from_ratio(
-        cls, ratio: float, period: int = 5000, warmup_frac: float = 3.0
+        cls, ratio: float, period: int = 10000, warmup_frac: float = 3.0
     ) -> "SamplePlan":
         """Plan measuring ``ratio`` of the stream; per-window warmup is
         ``warmup_frac`` x the measure window (~3x keeps the cold-start
-        bias in the low percent at these window sizes)."""
+        bias in the low percent at these window sizes).  The default
+        period (10000) keeps splice boundaries rare relative to the
+        MSHR-model's stall backlogs; shorter periods bias fast."""
         if not 0.0 < ratio < 1.0:
             raise ValueError(f"sampling ratio must be in (0, 1), got {ratio}")
         measure = max(1, round(period * ratio))
@@ -141,13 +149,15 @@ class SampledStream:
 def functional_warmer(pipe: Pipeline):
     """Per-uop hook keeping long-lived state warm across skip gaps.
 
-    Touches the D-cache/DTLB for memory ops, trains the branch predictor
-    and BTB on branch outcomes, and streams instruction lines through
-    the I-cache (one access per line change, like the fetch stage).  No
-    timing, ports or energy -- that is the whole point.  Warming
-    accesses *do* count in the hit/miss-rate statistics (they are real
-    program traffic, and the cache models have no stat-free access
-    path), so measured rates blend warmed and detailed traffic.
+    Touches the L1 D-cache/DTLB for memory ops, trains the branch
+    predictor and BTB on branch outcomes, and streams instruction lines
+    through the L1 I-cache (one access per line change, like the fetch
+    stage).  No timing, ports, MSHRs, L2 or energy -- that is the whole
+    point; the hierarchy's ``warm_*`` paths keep in-flight miss state
+    (and the filter-sensitive L2) out of the picture.  Warming accesses
+    *do* count in the hit/miss-rate statistics (they are real program
+    traffic, and the cache models have no stat-free access path), so
+    measured rates blend warmed and detailed traffic.
     """
     mem = pipe.mem
     predictor = pipe.predictor
@@ -159,9 +169,9 @@ def functional_warmer(pipe: Pipeline):
         iline = u.pc >> iline_shift
         if iline != last_iline[0]:
             last_iline[0] = iline
-            mem.iaccess(u.pc)
+            mem.warm_iaccess(u.pc)
         if u.is_mem:
-            mem.daccess(u.addr, write=u.is_store)
+            mem.warm_daccess(u.addr, write=u.is_store)
         elif u.is_branch:
             predictor.update(u.pc, u.taken, predicted=None)
             if u.taken:
@@ -195,11 +205,13 @@ def _merge(windows: list[SimResult], plan: SamplePlan, stream: SampledStream,
     cache_energy: dict[str, float] = {}
     area: dict[str, float] = {}
     lsq_stats: dict[str, int] = {}
+    mshr: dict[str, int] = {}
     for r in windows:
         _merge_counts(energy, r.lsq_energy_pj)
         _merge_counts(cache_energy, r.cache_energy_pj)
         _merge_counts(area, r.area_um2_cycles)
         _merge_counts(lsq_stats, r.lsq_stats)
+        _merge_counts(mshr, (r.extra or {}).get("mshr", {}))
     return SimResult(
         instructions=instructions,
         cycles=cycles,
@@ -217,6 +229,7 @@ def _merge(windows: list[SimResult], plan: SamplePlan, stream: SampledStream,
         addr_buffer_busy_frac=cw(lambda r: r.addr_buffer_busy_frac),
         data_violations=sum(r.data_violations for r in windows),
         extra={
+            "mshr": mshr,
             "sampling": {
                 "period": plan.period,
                 "warmup": plan.warmup,
@@ -236,7 +249,7 @@ def run_sampled(
     trace: Iterable[UOp],
     plan: SamplePlan,
     max_measured: int | None = None,
-    functional_warming: bool = False,
+    functional_warming: bool = True,
 ) -> SimResult:
     """Drive ``pipe`` over the sampled windows of ``trace``.
 
@@ -244,10 +257,10 @@ def run_sampled(
     state kept hot) followed by a measured burst; window results are
     aggregated into one :class:`SimResult` whose ``extra["sampling"]``
     records the plan, window count and coverage.  ``functional_warming``
-    additionally feeds skipped uops through the caches/TLB/predictor
-    (see the module docstring for why it defaults off).  Stops when the
-    trace is exhausted or ``max_measured`` instructions have been
-    measured.
+    (default on since the detailed model gained MSHR miss-merging; see
+    the module docstring) additionally feeds skipped uops through the
+    caches/TLB/predictor.  Stops when the trace is exhausted or
+    ``max_measured`` instructions have been measured.
     """
     on_skip = functional_warmer(pipe) if functional_warming else None
     stream = SampledStream(trace, plan, on_skip=on_skip)

@@ -7,6 +7,14 @@ full differential check.  The result is a JSON-serialisable
 :class:`CampaignReport`, and the whole thing is wired to the command line
 as ``repro verify``.
 
+With ``artifact_dir`` set (CLI: ``repro verify --artifacts DIR``), every
+diverging program is additionally written as a replayable ``.uoptrace``
+file whose meta header carries the full reproduction context (seed,
+profile, grid, fault, diverging point and reason), so a divergence found
+in CI can be replayed in any later session -- even one whose fuzz
+generator has since changed -- via ``repro trace replay`` or by feeding
+the trace back through :func:`repro.verify.diff.check_program`.
+
 This runner is also the template for parallelizing
 ``repro.experiments.runner`` later: simulation work items here are pure
 functions of small picklable specs, which is exactly the shape a
@@ -16,11 +24,12 @@ process-pool experiment sweep needs.
 from __future__ import annotations
 
 import json
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
-from repro.verify.diff import default_grid, diff_program, quick_grid
+from repro.verify.diff import Divergence, default_grid, diff_program, quick_grid
 from repro.verify.fuzz import PROFILE_NAMES, ProgramSpec, program_stream
 
 #: named grids selectable from the CLI and picklable by name
@@ -40,6 +49,9 @@ class CampaignConfig:
     minimize: bool = True
     #: cap on divergences carried in the report (the first ones matter)
     max_report: int = 20
+    #: when set, each diverging program is written here as a replayable
+    #: ``.uoptrace`` artifact (cross-session repro; see module docstring)
+    artifact_dir: str | None = None
 
 
 @dataclass
@@ -88,7 +100,40 @@ class CampaignReport:
             )
             lines.append(f"    {d['detail']}")
             lines.append(f"    replay: {d['replay_hint']}")
+            if d.get("artifact"):
+                lines.append(f"    artifact: {d['artifact']}")
         return "\n".join(lines)
+
+
+def emit_divergence_trace(spec: ProgramSpec, div: Divergence, artifact_dir: str) -> str:
+    """Write ``spec``'s full program as a replayable ``.uoptrace`` artifact.
+
+    The meta header records everything needed to reproduce the divergence
+    without the fuzz generator: the ``(seed, profile)`` pair, the grid and
+    injected fault, and the observed point/reason.  Returns the absolute
+    artifact path (also stored on ``div.artifact``).
+    """
+    from repro.trace.format import write_trace
+
+    os.makedirs(artifact_dir, exist_ok=True)
+    path = os.path.abspath(os.path.join(
+        artifact_dir, f"div-{spec.profile}-s{spec.seed}.uoptrace"
+    ))
+    meta = {
+        "source": "verify-divergence",
+        "seed": spec.seed,
+        "profile": spec.profile,
+        "index": spec.index,
+        "grid": div.grid,
+        "fault": div.fault,
+        "point": div.point,
+        "reason": div.reason,
+        "detail": div.detail,
+        "replay_hint": div.replay_hint,
+    }
+    write_trace(path, spec.build(), meta=meta)
+    div.artifact = path
+    return path
 
 
 def _check_one(payload: tuple) -> dict | None:
@@ -98,7 +143,7 @@ def _check_one(payload: tuple) -> dict | None:
     data; the program itself is regenerated inside the worker from its
     seed.
     """
-    index, seed, profile, grid_name, fault, minimize = payload
+    index, seed, profile, grid_name, fault, minimize, artifact_dir = payload
     spec = ProgramSpec(index=index, seed=seed, profile=profile)
     grid = GRIDS[grid_name]()
     div = diff_program(spec, grid, fault=fault if fault != "none" else None,
@@ -106,6 +151,8 @@ def _check_one(payload: tuple) -> dict | None:
     if div is None:
         return None
     div.grid, div.fault = grid_name, fault
+    if artifact_dir:
+        emit_divergence_trace(spec, div, artifact_dir)
     return div.to_dict()
 
 
@@ -115,7 +162,8 @@ def run_campaign(cfg: CampaignConfig) -> CampaignReport:
         raise ValueError(f"unknown grid {cfg.grid!r}; choose from {sorted(GRIDS)}")
     specs = list(program_stream(cfg.seed, cfg.programs, cfg.profiles))
     payloads = [
-        (s.index, s.seed, s.profile, cfg.grid, cfg.fault, cfg.minimize)
+        (s.index, s.seed, s.profile, cfg.grid, cfg.fault, cfg.minimize,
+         cfg.artifact_dir)
         for s in specs
     ]
     t0 = time.perf_counter()

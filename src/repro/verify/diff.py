@@ -169,6 +169,9 @@ class Divergence:
     #: campaign context needed to actually reproduce (grid + injected fault)
     grid: str = "default"
     fault: str = "none"
+    #: path of the ``.uoptrace`` artifact holding the full diverging
+    #: program ("" when the campaign ran without an artifact directory)
+    artifact: str = ""
 
     @property
     def replay_hint(self) -> str:

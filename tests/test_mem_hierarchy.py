@@ -30,6 +30,12 @@ class TestPortPool:
             PortPool(0)
 
 
+def drain_fills(m: MemoryHierarchy, cycles: int = 200) -> None:
+    """Advance the hierarchy clock until outstanding fills retire."""
+    for _ in range(cycles):
+        m.new_cycle()
+
+
 class TestMemoryHierarchy:
     def test_paper_geometry(self):
         m = MemoryHierarchy()
@@ -38,10 +44,13 @@ class TestMemoryHierarchy:
         assert m.l2.line_bytes == 64
         assert m.dtlb.entries == 128
         assert m.dports.ports == 4
+        assert m.dmshr.entries == 8 and m.dmshr.targets == 4
+        assert not m.dmshr.blocking
 
     def test_l1_hit_latency(self):
         m = MemoryHierarchy()
         m.daccess(0x1000, write=False)  # cold
+        drain_fills(m)  # let the fill complete; the line is now resident
         out = m.daccess(0x1008, write=False)  # same line, same page
         assert out.l1_hit
         assert out.latency == m.cfg.l1d_latency
@@ -74,6 +83,7 @@ class TestMemoryHierarchy:
         cfg = MemConfig(fast_way_hit_latency=1)
         m = MemoryHierarchy(cfg)
         m.daccess(0x1000, write=False)
+        drain_fills(m)
         out = m.daccess(0x1000, write=False, skip_tlb=True, way_known=True)
         assert out.latency == 1
         out2 = m.daccess(0x1000, write=False, skip_tlb=True, way_known=False)
@@ -82,6 +92,7 @@ class TestMemoryHierarchy:
     def test_iaccess_hits_after_fill(self):
         m = MemoryHierarchy()
         m.iaccess(0x400000)
+        drain_fills(m)
         assert m.iaccess(0x400004) == m.cfg.l1i_latency
 
     def test_new_cycle_resets_ports(self):

@@ -12,6 +12,13 @@ from repro.core.config import ProcessorConfig
 from repro.core.processor import build_processor, run_simulation
 from repro.isa.opclasses import OpClass
 from repro.isa.uop import UOp
+from repro.mem.hierarchy import MemConfig
+
+
+def blocking_mem() -> ProcessorConfig:
+    """Blocking-cache model (pre-MSHR timing) for closed-form laws that
+    assume every miss is charged synchronously to its access."""
+    return ProcessorConfig(mem=MemConfig(mshr_entries=1, mshr_targets=1))
 
 
 def trace(kind=OpClass.INT_ALU, dep=0, pc_lines=8):
@@ -73,23 +80,40 @@ class TestMemoryTiming:
         assert r.ipc == pytest.approx(4.0, abs=0.4)
 
     def test_lsq_capacity_miss_equilibrium(self):
-        # streaming misses: IPC -> LSQ_size / L2_miss_latency (Little's law)
-        r = run_simulation(mem_trace(region=1 << 26), max_instructions=4000, warmup=2000)
+        # blocking cache: IPC -> LSQ_size / L2_miss_latency (Little's law)
+        r = run_simulation(mem_trace(region=1 << 26), cfg=blocking_mem(),
+                           max_instructions=4000, warmup=2000)
         assert r.ipc == pytest.approx(128 / 102, abs=0.25)
 
+    def test_mshr_bound_streaming_equilibrium(self):
+        # non-blocking default: Little's law moves from the LSQ to the
+        # MSHR file.  Each 64B L2 line is two L1 fills -- one L2 miss
+        # (2+100) and one L2 hit (2+10) -- carrying 8 unit-stride loads,
+        # at a steady concurrency of mshr_entries fills:
+        #   IPC -> entries * 8 / (102 + 12)
+        r = run_simulation(mem_trace(region=1 << 26), max_instructions=4000, warmup=2000)
+        cfg = MemConfig()
+        per_pair = 2 * cfg.l1d_latency + cfg.l2_miss_latency + cfg.l2_hit_latency
+        loads_per_pair = 2 * cfg.l1d_line // 8
+        bound = cfg.mshr_entries * loads_per_pair / per_pair
+        assert r.ipc == pytest.approx(bound, rel=0.05)
+        assert r.ipc < 128 / 102  # strictly below the blocking-model LSQ bound
+
     def test_smaller_lsq_lowers_streaming_ipc(self):
+        # blocking cache keeps the LSQ (not the MSHR file) the bottleneck
         r64 = run_simulation(
             mem_trace(region=1 << 26), lsq="conventional", capacity=64,
-            max_instructions=3000, warmup=1500,
+            cfg=blocking_mem(), max_instructions=3000, warmup=1500,
         )
         r128 = run_simulation(
             mem_trace(region=1 << 26), lsq="conventional", capacity=128,
-            max_instructions=3000, warmup=1500,
+            cfg=blocking_mem(), max_instructions=3000, warmup=1500,
         )
         assert r64.ipc < r128.ipc
 
     def test_unbounded_lsq_streaming_faster(self):
-        r = run_simulation(mem_trace(region=1 << 26), lsq="unbounded", max_instructions=4000, warmup=2000)
+        r = run_simulation(mem_trace(region=1 << 26), lsq="unbounded",
+                           cfg=blocking_mem(), max_instructions=4000, warmup=2000)
         # bounded by ROB instead of the LSQ
         assert r.ipc > 128 / 102
 

@@ -20,6 +20,9 @@ from repro.experiments.runner import (
     lsq_spec,
     machine_arb,
     machine_samie_unbounded_shared,
+    make_mem_config,
+    mem_spec,
+    parse_mem_overrides,
     run_many,
     run_one,
     samie_default,
@@ -185,6 +188,121 @@ class TestDiskCache:
         run_many([SimSpec.make("gzip", MACHINE_SAMIE, **SMALL)], jobs=1)
         assert runner.clear_disk_cache() == 1
         assert runner.clear_disk_cache() == 0
+
+
+class TestMemConfigKeys:
+    """MemConfig overrides are part of the cache identity (CACHE_VERSION 3)."""
+
+    @pytest.mark.parametrize("field,value", [
+        ("mshr_entries", 4),
+        ("mshr_targets", 2),
+        ("l1d_sets", 128),
+        ("l1d_ways", 2),
+        ("l1d_line", 64),
+        ("l1d_latency", 3),
+        ("l1d_ports", 2),
+        ("l2_hit_latency", 12),
+        ("l2_miss_latency", 150),
+        ("tlb_entries", 64),
+        ("tlb_miss_latency", 40),
+        ("l1i_size", 32 * 1024),
+    ])
+    def test_every_mem_field_changes_the_key(self, field, value):
+        base = SimSpec.make("gzip", MACHINE_SAMIE, **SMALL)
+        overridden = SimSpec.make("gzip", MACHINE_SAMIE, **SMALL,
+                                  mem=mem_spec(**{field: value}))
+        assert base.key != overridden.key
+        assert base.cache_id != overridden.cache_id
+
+    def test_distinct_overrides_distinct_keys(self):
+        a = SimSpec.make("gzip", MACHINE_SAMIE, **SMALL, mem=mem_spec(mshr_entries=4))
+        b = SimSpec.make("gzip", MACHINE_SAMIE, **SMALL, mem=mem_spec(mshr_entries=8))
+        assert a.key != b.key
+
+    def test_mem_override_misses_disk_cache(self, monkeypatch):
+        base = SimSpec.make("gzip", MACHINE_SAMIE, **SMALL)
+        run_many([base], jobs=1)
+        clear_cache()
+        calls = []
+        real = runner.run_spec
+        monkeypatch.setattr(runner, "run_spec", lambda s: calls.append(s) or real(s))
+        spec = SimSpec.make("gzip", MACHINE_SAMIE, **SMALL, mem=mem_spec(mshr_entries=4))
+        run_many([spec], jobs=1)
+        assert len(calls) == 1  # override must not be served the base entry
+
+    def test_unknown_mem_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown MemConfig field"):
+            mem_spec(l3_size=1)
+
+    def test_conflicting_ways_and_assoc_rejected(self):
+        with pytest.raises(ValueError, match="not both"):
+            mem_spec(l1d_ways=8, l1d_assoc=2)
+
+    def test_validate_mem_spec_rejects_bad_values(self):
+        from repro.experiments.runner import validate_mem_spec
+
+        with pytest.raises(ValueError):
+            validate_mem_spec(mem_spec(mshr_entries=0))
+        with pytest.raises(ValueError):
+            validate_mem_spec(mem_spec(l1d_sets=100))  # not a power of two
+        validate_mem_spec(mem_spec(l1d_sets=128, mshr_entries=4))  # fine
+
+    def test_cli_rejects_bad_mem_values_cleanly(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "gzip", "--mem", "mshr_entries=0"]) == 2
+        assert main(["run", "gzip", "--mem", "l1d_sets=100"]) == 2
+        err = capsys.readouterr().err
+        assert "MSHR" in err and "power of two" in err
+        assert "Traceback" not in err
+
+    def test_parse_mem_overrides(self):
+        assert parse_mem_overrides("mshr_entries=4, l1d_sets=128") == (
+            ("l1d_sets", 128), ("mshr_entries", 4),
+        )
+        with pytest.raises(ValueError, match="key=value"):
+            parse_mem_overrides("mshr_entries")
+        with pytest.raises(ValueError, match="integer"):
+            parse_mem_overrides("mshr_entries=four")
+        with pytest.raises(ValueError, match="no overrides"):
+            parse_mem_overrides(" , ")
+
+    def test_make_mem_config_sets_sugar(self):
+        cfg = make_mem_config(mem_spec(l1d_sets=32))
+        assert cfg.l1d_size == 32 * cfg.l1d_assoc * cfg.l1d_line
+        cfg2 = make_mem_config(mem_spec(l1d_sets=32, l1d_ways=8, l1d_line=64))
+        assert (cfg2.l1d_size, cfg2.l1d_assoc, cfg2.l1d_line) == (32 * 8 * 64, 8, 64)
+
+    def test_mem_spec_is_picklable_and_canonical(self):
+        import pickle
+
+        spec = SimSpec.make("gzip", MACHINE_SAMIE, **SMALL,
+                            mem={"mshr_entries": 4, "l1d_sets": 128})
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone.key == spec.key
+        # dict and tuple forms canonicalise identically
+        via_tuple = SimSpec.make("gzip", MACHINE_SAMIE, **SMALL,
+                                 mem=mem_spec(l1d_sets=128, mshr_entries=4))
+        assert via_tuple.key == spec.key
+
+    def test_cache_version_bump_evicts_old_entries(self, monkeypatch):
+        # persist an entry under the previous CACHE_VERSION and verify the
+        # current engine recomputes instead of serving it
+        spec = SimSpec.make("gzip", MACHINE_SAMIE, **SMALL)
+        current = runner.CACHE_VERSION
+        monkeypatch.setattr(runner, "CACHE_VERSION", current - 1)
+        old = run_many([spec], jobs=1)[0]
+        old_path = runner._disk_path(spec.key)
+        assert os.path.exists(old_path)
+        monkeypatch.setattr(runner, "CACHE_VERSION", current)
+        clear_cache()
+        calls = []
+        real = runner.run_spec
+        monkeypatch.setattr(runner, "run_spec", lambda s: calls.append(s) or real(s))
+        again = run_many([spec], jobs=1)[0]
+        assert len(calls) == 1  # the v(n-1) entry was not served
+        assert again == old  # same simulation semantics either way
+        assert runner._disk_path(spec.key) != old_path  # distinct identity
 
 
 class TestScaleCoherence:
