@@ -49,8 +49,8 @@ class HybridPredictor:
 
     def predict(self, pc: int) -> bool:
         """Predict direction for the branch at ``pc``."""
-        self.lookups.add()
-        if self._selector[self._sel_index(pc)] >= 2:
+        self.lookups.value += 1  # inlined Counter.add (hot path)
+        if self._selector[(pc >> self._shift) & self._sel_mask] >= 2:
             return self.gshare.predict(pc)
         return self.bimodal.predict(pc)
 

@@ -7,6 +7,7 @@ misuse rather than silently growing, which keeps the timing model honest.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Generic, Iterator, TypeVar
 
 T = TypeVar("T")
@@ -15,9 +16,12 @@ T = TypeVar("T")
 class RingBuffer(Generic[T]):
     """A bounded ring buffer with O(1) append/popleft and stable iteration.
 
-    Models in-order hardware queues (ROB, fetch queue).  Iteration yields
-    elements oldest-first, which mirrors age-ordered priority in the
-    modelled structures.
+    Iteration yields elements oldest-first, which mirrors age-ordered
+    priority in the modelled structures.  The hot-path structures that
+    used to build on it (ROB, fetch queue, AddrBuffer) moved to
+    ``collections.deque`` with explicit capacity checks for speed; this
+    class stays as the general-purpose bounded ring (random access via
+    ``__getitem__``, preallocated storage) for non-hot-path users.
     """
 
     __slots__ = ("_buf", "_cap", "_head", "_size")
@@ -93,44 +97,44 @@ class BoundedFIFO(Generic[T]):
     """A FIFO with a hard capacity and non-throwing ``try_push``.
 
     Models the SAMIE AddrBuffer: a cheap structure with no associative
-    search, where insertion simply fails when the buffer is full.
+    search, where insertion simply fails when the buffer is full.  Backed
+    by a :class:`collections.deque` (polled every cycle by the pipeline)
+    with an explicit capacity check.
     """
 
-    __slots__ = ("_ring",)
+    __slots__ = ("_buf", "capacity")
 
     def __init__(self, capacity: int):
-        self._ring: RingBuffer[T] = RingBuffer(capacity)
-
-    @property
-    def capacity(self) -> int:
-        """Maximum number of elements."""
-        return self._ring.capacity
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._buf: deque[T] = deque()
+        self.capacity = capacity
 
     def __len__(self) -> int:
-        return len(self._ring)
+        return len(self._buf)
 
     def is_full(self) -> bool:
         """True when ``try_push`` would fail."""
-        return self._ring.is_full()
+        return len(self._buf) >= self.capacity
 
     def try_push(self, item: T) -> bool:
         """Append ``item`` if space is available; return success."""
-        if self._ring.is_full():
+        if len(self._buf) >= self.capacity:
             return False
-        self._ring.append(item)
+        self._buf.append(item)
         return True
 
     def pop(self) -> T:
         """Remove and return the oldest element."""
-        return self._ring.popleft()
+        return self._buf.popleft()
 
     def peek(self) -> T:
         """Return the oldest element without removing it."""
-        return self._ring.peek()
+        return self._buf[0]
 
     def clear(self) -> None:
         """Drop all elements."""
-        self._ring.clear()
+        self._buf.clear()
 
     def __iter__(self) -> Iterator[T]:
-        return iter(self._ring)
+        return iter(self._buf)

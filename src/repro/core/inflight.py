@@ -45,6 +45,9 @@ class InFlight:
 
     __slots__ = (
         "uop",
+        "seq",
+        "byte0",
+        "byte1",
         "src1_seq",
         "src2_seq",
         "deps_left",
@@ -64,6 +67,12 @@ class InFlight:
 
     def __init__(self, uop: UOp):
         self.uop = uop
+        #: dynamic sequence number (also the age identifier); cached from
+        #: the uop -- the LSQ models read it many times per cycle
+        self.seq = uop.seq
+        #: half-open [byte0, byte1) byte range of a memory access
+        self.byte0 = uop.addr
+        self.byte1 = uop.addr + uop.size
         self.src1_seq = -1
         self.src2_seq = -1
         self.deps_left = 0
@@ -80,26 +89,17 @@ class InFlight:
         self.load_value: Any = None
         self.ready_cycle = -1
 
-    @property
-    def seq(self) -> int:
-        """Dynamic sequence number (also the age identifier)."""
-        return self.uop.seq
-
     def byte_range(self) -> tuple[int, int]:
         """Half-open [start, end) byte range of a memory access."""
-        return self.uop.addr, self.uop.addr + self.uop.size
+        return self.byte0, self.byte1
 
     def overlaps(self, other: "InFlight") -> bool:
         """True when the byte ranges of two memory ops intersect."""
-        a0, a1 = self.byte_range()
-        b0, b1 = other.byte_range()
-        return a0 < b1 and b0 < a1
+        return self.byte0 < other.byte1 and other.byte0 < self.byte1
 
     def contains(self, other: "InFlight") -> bool:
         """True when this access covers every byte of ``other``."""
-        a0, a1 = self.byte_range()
-        b0, b1 = other.byte_range()
-        return a0 <= b0 and b1 <= a1
+        return self.byte0 <= other.byte0 and other.byte1 <= self.byte1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         flags = "".join(

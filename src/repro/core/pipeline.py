@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Iterator
 
 from repro.branch.btb import BTB
@@ -37,15 +38,19 @@ from repro.core.fu import FuncUnitPool
 from repro.core.inflight import InFlight
 from repro.core.issue_queue import IssueQueue
 from repro.core.rob import ReorderBuffer
-from repro.common.queues import RingBuffer
 from repro.common.stats import Histogram
 from repro.energy.accounting import EnergyAccount
 from repro.energy.leakage import ActiveAreaTracker
 from repro.energy.tables import CACHE_ENERGY
-from repro.isa.opclasses import EXEC_LATENCY, FP_CLASSES, PIPELINED, OpClass, fu_pool_for
+from repro.isa.opclasses import EXEC_LATENCY, PIPELINED, fu_pool_for
 from repro.isa.uop import UOp
 from repro.lsq.base import BaseLSQ, RouteKind
 from repro.mem.hierarchy import MemoryHierarchy
+
+#: hoisted Table 5 cache-access energies (read per data-side access)
+_E_DCACHE_WAY = CACHE_ENERGY["dcache_way_known_access"]
+_E_DCACHE_FULL = CACHE_ENERGY["dcache_full_access"]
+_E_DTLB = CACHE_ENERGY["dtlb_access"]
 
 
 @dataclass
@@ -98,6 +103,31 @@ class SimResult:
 class Pipeline:
     """The cycle loop.  Construct via :func:`repro.core.processor.build_processor`."""
 
+    # slotted layout: every per-cycle self.X read resolves through a slot
+    # instead of the instance dict; "__dict__" keeps ad-hoc attribute
+    # assignment working (e.g. the benchmark harness wraps stage methods)
+    __slots__ = (
+        "cfg", "lsq", "mem", "predictor", "btb", "rob", "int_iq", "fp_iq",
+        "pools", "fetch_queue", "_fetch_cap", "cache_energy", "area",
+        "_pool_list", "_sample_occ", "_issue_info",
+        "_area_acc", "_occ_list", "_ab_buf", "_skip_area",
+        "_lsq_begin_cycle", "_lsq_area_breakdown",
+        "_commit_width", "_decode_width", "_fetch_width", "_watchdog",
+        "_track_data", "_iw_int", "_iw_fp",
+        "cycle", "committed", "deadlock_flushes", "overflow_flushes",
+        "_last_commit_cycle", "_events", "_inflight", "_waiters",
+        "_data_waiters", "_pending_loads", "_unresolved_stores",
+        "_int_regs_used", "_fp_regs_used",
+        "_trace", "_replay", "_fetch_seq", "_trace_exhausted",
+        "_fetch_stall_seq", "_fetch_block_until", "_last_iline",
+        "_flush_requested",
+        "_ref_mem", "_expected", "_committed_mem", "data_violations",
+        "committed_load_values",
+        "shared_occ_hist", "addr_buffer_busy_cycles",
+        "_stat_cycle0", "_stat_committed0",
+        "__dict__",
+    )
+
     def __init__(self, cfg: ProcessorConfig, lsq: BaseLSQ, mem: MemoryHierarchy):
         self.cfg = cfg
         self.lsq = lsq
@@ -115,11 +145,48 @@ class Pipeline:
             "fp_alu": FuncUnitPool("fp_alu", cfg.fp_alu),
             "fp_mult": FuncUnitPool("fp_mult", cfg.fp_mult),
         }
-        self.fetch_queue: RingBuffer[UOp] = RingBuffer(cfg.fetch_queue)
+        # plain deque + explicit capacity: peeked/popped every cycle
+        self.fetch_queue: deque[UOp] = deque()
+        self._fetch_cap = cfg.fetch_queue
         self.cache_energy = EnergyAccount()
         self.area = ActiveAreaTracker()
         # SAMIE presentBit invalidation hook
         self.mem.l1d.on_evict = self.lsq.on_l1_evict
+        # hot-loop latches: resolved once so step() skips quiescent stages
+        # without attribute/hasattr churn
+        self._pool_list = tuple(self.pools.values())
+        self._sample_occ = cfg.sample_occupancy and hasattr(lsq, "shared_in_use")
+        # stable container references (cleared in place, never replaced):
+        # the per-cycle telemetry reads them without method-call churn
+        self._area_acc = self.area._area_cycles
+        self._occ_list = lsq._shared if self._sample_occ else None
+        self._ab_buf = lsq._addr_buffer._buf if self._sample_occ else None
+        # a constant-zero breakdown (ARB) skips the per-cycle adds; the
+        # accumulator is seeded instead so results keep the component key
+        self._skip_area = bool(getattr(lsq, "area_is_constant_zero", False))
+        if self._skip_area:
+            for comp, area in lsq.area_breakdown().items():
+                self._area_acc[comp] += area
+        #: OpClass -> (pool, exec latency, pipelined?): one lookup per issue
+        self._issue_info = {
+            op: (self.pools[fu_pool_for(op)], EXEC_LATENCY[op], PIPELINED[op])
+            for op in EXEC_LATENCY
+        }
+        # per-cycle bound methods and config scalars, resolved once;
+        # a model using the base no-op begin_cycle skips the call entirely
+        self._lsq_begin_cycle = (
+            lsq.begin_cycle
+            if type(lsq).begin_cycle is not BaseLSQ.begin_cycle
+            else None
+        )
+        self._lsq_area_breakdown = lsq.area_breakdown
+        self._commit_width = cfg.commit_width
+        self._decode_width = cfg.decode_width
+        self._fetch_width = cfg.fetch_width
+        self._watchdog = cfg.commit_watchdog
+        self._track_data = cfg.track_data
+        self._iw_int = cfg.issue_width_int
+        self._iw_fp = cfg.issue_width_fp
 
         self.cycle = 0
         self.committed = 0
@@ -180,17 +247,17 @@ class Pipeline:
             if uop.seq != seq:  # pragma: no cover - generator contract
                 raise RuntimeError(f"trace out of order: got {uop.seq}, want {seq}")
             self._replay[seq] = uop
-            if self.cfg.track_data:
+            if self._track_data:
                 self._oracle_record(uop)
         self._fetch_seq += 1
         return uop
 
     def _oracle_record(self, uop: UOp) -> None:
         """In-order reference semantics, evaluated at generation time."""
-        if uop.op is OpClass.STORE:
+        if uop.is_store:
             for b in range(uop.addr, uop.addr + uop.size):
                 self._ref_mem[b] = uop.seq
-        elif uop.op is OpClass.LOAD:
+        elif uop.is_load:
             self._expected[uop.seq] = tuple(
                 self._ref_mem.get(b, 0) for b in range(uop.addr, uop.addr + uop.size)
             )
@@ -199,29 +266,31 @@ class Pipeline:
     # events
     # ------------------------------------------------------------------
     def _schedule(self, cycle: int, kind: str, ins: InFlight) -> None:
-        self._events.setdefault(cycle, []).append((kind, ins))
-
-    def _wake_dependents(self, ins: InFlight) -> None:
-        for w in self._waiters.pop(ins.seq, ()):  # register dependents
-            w.deps_left -= 1
-            if w.deps_left == 0 and not w.issued:
-                (self.fp_iq if w.uop.op in FP_CLASSES else self.int_iq).mark_ready(w)
-        for w in self._data_waiters.pop(ins.seq, ()):  # store data operands
-            w.store_data_ready = True
-            self.lsq.store_data_arrived(w)
-            if w.addr_ready and not w.done:
-                w.done = True
+        events = self._events
+        bucket = events.get(cycle)
+        if bucket is None:
+            events[cycle] = bucket = []
+        bucket.append((kind, ins))
 
     # ------------------------------------------------------------------
-    # stage 2: complete
+    # stage 2: complete (dependent wake-up is inlined in the event loop)
     # ------------------------------------------------------------------
     def _complete(self) -> None:
-        for kind, ins in self._events.pop(self.cycle, ()):  # events for this cycle
-            if ins.seq not in self._inflight:
+        events = self._events.pop(self.cycle, None)
+        if events is None:
+            return
+        inflight = self._inflight
+        waiters = self._waiters
+        data_waiters = self._data_waiters
+        int_iq = self.int_iq
+        fp_iq = self.fp_iq
+        lsq = self.lsq
+        for kind, ins in events:
+            if ins.seq not in inflight:
                 continue  # squashed by a flush after scheduling
             if kind == "agu":
                 ins.addr_ready = True
-                self.lsq.address_ready(ins)
+                lsq.address_ready(ins)
                 if self.lsq_need_flush():
                     self._flush_requested = True
                 if ins.uop.is_store:
@@ -230,16 +299,23 @@ class Pipeline:
                         ins.done = True
                 else:
                     self._pending_loads.append(ins)
-            elif kind == "exec":
-                ins.done = True
-                self._wake_dependents(ins)
-                if ins.uop.is_branch:
-                    self._resolve_branch(ins)
-            elif kind == "mem":
-                ins.done = True
-                self._wake_dependents(ins)
-            else:  # pragma: no cover
+                continue
+            if kind != "exec" and kind != "mem":  # pragma: no cover
                 raise RuntimeError(f"unknown event {kind}")
+            ins.done = True
+            # inlined _wake_dependents
+            for w in waiters.pop(ins.seq, ()):  # register dependents
+                w.deps_left -= 1
+                if w.deps_left == 0 and not w.issued:
+                    iq = fp_iq if w.uop.is_fp else int_iq
+                    heappush(iq._ready, (w.seq, w))  # inlined mark_ready
+            for w in data_waiters.pop(ins.seq, ()):  # store data operands
+                w.store_data_ready = True
+                lsq.store_data_arrived(w)
+                if w.addr_ready and not w.done:
+                    w.done = True
+            if kind == "exec" and ins.uop.is_branch:
+                self._resolve_branch(ins)
 
     def lsq_need_flush(self) -> bool:
         """AddrBuffer overflow signal from the SAMIE model."""
@@ -258,36 +334,63 @@ class Pipeline:
         while q and (q[0].disamb_resolved or q[0].seq not in self._inflight):
             q.popleft()
 
-    def _min_unresolved_store(self) -> int:
-        self._advance_store_frontier()
-        return self._unresolved_stores[0].seq if self._unresolved_stores else 1 << 62
-
     # ------------------------------------------------------------------
     # stage 3: commit
     # ------------------------------------------------------------------
     def _commit(self) -> None:
-        for _ in range(self.cfg.commit_width):
-            head = self.rob.head()
-            if head is None:
+        buf = self.rob.buf
+        if not buf:
+            return
+        head = buf[0]
+        if not head.done and not (
+            head.uop.is_mem and head.addr_ready and head.placement is None
+        ):
+            return  # common stalled case: head simply not finished yet
+        lsq = self.lsq
+        mem = self.mem
+        inflight = self._inflight
+        replay = self._replay
+        track = self._track_data
+        for _ in range(self._commit_width):
+            if not buf:
                 return
-            if head.uop.is_mem and head.addr_ready and head.placement is None:
+            head = buf[0]
+            uop = head.uop
+            if uop.is_mem and head.addr_ready and head.placement is None:
                 # the paper's deadlock-avoidance check (§3.3)
-                if self.lsq.head_blocked(head):
+                if lsq.head_blocked(head):
                     self._flush(reason="deadlock")
                     return
                 if head.placement is None:
                     return  # placed next cycle via AddrBuffer drain
             if not head.done:
                 return
-            if head.uop.is_store:
-                if head.placement is None:
-                    return  # cannot write the cache before disambiguation
-                if self.mem.daccess_blocked(head.uop.addr):
-                    return  # MSHR exhausted: retry the writeback next cycle
-                if not self.mem.dports.try_acquire():
-                    return  # no write port this cycle
-                self._store_writeback(head)
-            self._retire(head)
+            if uop.is_mem:
+                if uop.is_store:
+                    if head.placement is None:
+                        return  # cannot write the cache before disambiguation
+                    if mem.daccess_blocked(uop.addr):
+                        return  # MSHR exhausted: retry writeback next cycle
+                    if not mem.dports.try_acquire():
+                        return  # no write port this cycle
+                    self._store_writeback(head)
+                lsq.commit(head)
+            # inlined _retire
+            buf.popleft()
+            seq = head.seq
+            del inflight[seq]
+            replay.pop(seq, None)
+            if uop.is_fp:
+                self._fp_regs_used -= 1
+            elif uop.needs_int_reg:
+                self._int_regs_used -= 1
+            if track and uop.is_load:
+                self.committed_load_values[seq] = head.load_value
+                expected = self._expected.pop(seq, None)
+                if expected is not None and head.load_value != expected:
+                    self.data_violations.append((seq, expected, head.load_value))
+            self.committed += 1
+            self._last_commit_cycle = self.cycle
 
     def _store_writeback(self, ins: InFlight) -> None:
         route = self.lsq.route_store_commit(ins)
@@ -297,173 +400,205 @@ class Pipeline:
         self._charge_access(route.way_known, route.skip_tlb)
         self.lsq.record_location(ins, out.l1.set_index, out.l1.way)
         self.mem.l1d.set_present_bit(out.l1.set_index, out.l1.way, True)
-        if self.cfg.track_data:
+        if self._track_data:
             for b in range(ins.uop.addr, ins.uop.addr + ins.uop.size):
                 self._committed_mem[b] = ins.seq
 
     def _charge_access(self, way_known: bool, skip_tlb: bool) -> None:
-        if way_known:
-            self.cache_energy.charge("dcache", CACHE_ENERGY["dcache_way_known_access"])
-        else:
-            self.cache_energy.charge("dcache", CACHE_ENERGY["dcache_full_access"])
+        # inlined EnergyAccount.charge: table constants are non-negative
+        pj = self.cache_energy._pj
+        pj["dcache"] += _E_DCACHE_WAY if way_known else _E_DCACHE_FULL
         if not skip_tlb:
-            self.cache_energy.charge("dtlb", CACHE_ENERGY["dtlb_access"])
-
-    def _retire(self, ins: InFlight) -> None:
-        if ins.uop.is_mem:
-            self.lsq.commit(ins)
-        self.rob.pop_head()
-        del self._inflight[ins.seq]
-        self._replay.pop(ins.seq, None)
-        self._release_reg(ins)
-        if self.cfg.track_data and ins.uop.is_load:
-            self.committed_load_values[ins.seq] = ins.load_value
-            expected = self._expected.pop(ins.seq, None)
-            if expected is not None and ins.load_value != expected:
-                self.data_violations.append((ins.seq, expected, ins.load_value))
-        self.committed += 1
-        self._last_commit_cycle = self.cycle
+            pj["dtlb"] += _E_DTLB
 
     def _release_reg(self, ins: InFlight) -> None:
-        op = ins.uop.op
-        if op in FP_CLASSES:
+        uop = ins.uop
+        if uop.is_fp:
             self._fp_regs_used -= 1
-        elif op is OpClass.LOAD or op in (OpClass.INT_ALU, OpClass.INT_MULT, OpClass.INT_DIV):
+        elif uop.needs_int_reg:
             self._int_regs_used -= 1
 
     # ------------------------------------------------------------------
     # stage 4: memory
     # ------------------------------------------------------------------
     def _memory_issue(self) -> None:
-        if not self._pending_loads:
+        pending = self._pending_loads
+        if not pending:
             return
-        frontier = self._min_unresolved_store()
-        still: list[InFlight] = []
-        for ld in self._pending_loads:
-            if ld.seq not in self._inflight or ld.mem_started:
+        # inlined _min_unresolved_store
+        q = self._unresolved_stores
+        inflight = self._inflight
+        while q and (q[0].disamb_resolved or q[0].seq not in inflight):
+            q.popleft()
+        frontier = q[0].seq if q else 1 << 62
+        lsq = self.lsq
+        mem = self.mem
+        track = self._track_data
+        # `still` is materialized lazily: on the (common) quiescent cycle
+        # where every pending load stays pending, the list is reused
+        # as-is instead of being rebuilt element by element
+        still: list[InFlight] | None = None
+        for i, ld in enumerate(pending):
+            if ld.seq not in inflight or ld.mem_started:
+                if still is None:
+                    still = pending[:i]
                 continue
-            if ld.seq > frontier or not self.lsq.load_ready(ld):
-                still.append(ld)
+            if ld.seq > frontier or not lsq.load_ready(ld):
+                if still is not None:
+                    still.append(ld)
                 continue
-            route = self.lsq.route_load(ld)
+            route = lsq.route_load(ld)
             if route.kind is RouteKind.FORWARD:
+                if still is None:
+                    still = pending[:i]
                 ld.mem_started = True
                 ld.fwd_store = route.store
-                if self.cfg.track_data:
+                if track:
                     ld.load_value = tuple(route.store.seq for _ in range(ld.uop.size))
                 self._schedule(self.cycle + 1, "mem", ld)
             else:
-                if self.mem.daccess_blocked(ld.uop.addr):
-                    still.append(ld)  # structural stall: MSHRs exhausted
+                if mem.daccess_blocked(ld.uop.addr):
+                    if still is not None:
+                        still.append(ld)  # structural stall: MSHRs exhausted
                     continue
-                if not self.mem.dports.try_acquire():
-                    still.append(ld)
+                if not mem.dports.try_acquire():
+                    if still is not None:
+                        still.append(ld)
                     continue
+                if still is None:
+                    still = pending[:i]
                 ld.mem_started = True
-                out = self.mem.daccess(
+                out = mem.daccess(
                     ld.uop.addr, write=False, skip_tlb=route.skip_tlb, way_known=route.way_known
                 )
                 self._charge_access(route.way_known, route.skip_tlb)
-                self.lsq.record_location(ld, out.l1.set_index, out.l1.way)
-                self.mem.l1d.set_present_bit(out.l1.set_index, out.l1.way, True)
-                if self.cfg.track_data:
+                lsq.record_location(ld, out.l1.set_index, out.l1.way)
+                mem.l1d.set_present_bit(out.l1.set_index, out.l1.way, True)
+                if track:
                     ld.load_value = tuple(
                         self._committed_mem.get(b, 0)
                         for b in range(ld.uop.addr, ld.uop.addr + ld.uop.size)
                     )
                 self._schedule(self.cycle + max(1, out.latency), "mem", ld)
-        self._pending_loads = still
+        if still is not None:
+            self._pending_loads = still
 
     # ------------------------------------------------------------------
     # stage 5: issue
     # ------------------------------------------------------------------
     def _issue(self) -> None:
-        self._issue_from(self.int_iq, self.cfg.issue_width_int)
-        self._issue_from(self.fp_iq, self.cfg.issue_width_fp)
+        self._issue_from(self.int_iq, self._iw_int)
+        self._issue_from(self.fp_iq, self._iw_fp)
 
     def _issue_from(self, iq: IssueQueue, width: int) -> None:
+        ready = iq._ready
+        if not ready:
+            return
+        inflight = self._inflight
+        lsq = self.lsq
+        cycle = self.cycle
+        issue_info = self._issue_info
+        events = self._events
         deferred: list[InFlight] = []
         issued = 0
-        while issued < width:
-            ins = iq.pop_ready()
-            if ins is None:
-                break
-            if ins.seq not in self._inflight:
+        while issued < width and ready:
+            # inlined IssueQueue.pop_ready
+            ins = heappop(ready)[1]
+            iq.size -= 1
+            if ins.seq not in inflight:
                 continue  # squashed
-            op = ins.uop.op
-            if ins.uop.is_mem and not self.lsq.can_accept_address():
+            uop = ins.uop
+            if uop.is_mem and not lsq.can_accept_address():
                 deferred.append(ins)  # §3.3: no guaranteed AddrBuffer slot
                 continue
-            pool = self.pools[fu_pool_for(op)]
-            lat = EXEC_LATENCY[op]
-            if not pool.issue(self.cycle, lat, PIPELINED[op]):
+            pool, lat, pipelined = issue_info[uop.op]
+            # inlined FuncUnitPool.issue
+            if pool.units - pool._issued_this_cycle - len(pool._busy_until) <= 0:
                 deferred.append(ins)
                 continue
+            pool._issued_this_cycle += 1
+            if not pipelined:
+                pool._busy_until.append(cycle + lat)
             ins.issued = True
             issued += 1
-            if ins.uop.is_mem:
-                self.lsq.address_issued()
-                self._schedule(self.cycle + lat, "agu", ins)
+            if uop.is_mem:
+                lsq.address_issued()
+                kind = "agu"
             else:
-                self._schedule(self.cycle + lat, "exec", ins)
+                kind = "exec"
+            # inlined _schedule
+            when = cycle + lat
+            bucket = events.get(when)
+            if bucket is None:
+                events[when] = bucket = []
+            bucket.append((kind, ins))
         for ins in deferred:
-            iq.push_back(ins)
+            # inlined IssueQueue.push_back
+            heappush(ready, (ins.seq, ins))
+            iq.size += 1
 
     # ------------------------------------------------------------------
     # stage 6: dispatch
     # ------------------------------------------------------------------
     def _dispatch(self) -> None:
-        for _ in range(self.cfg.decode_width):
-            if len(self.fetch_queue) == 0 or self.rob.is_full():
+        fq = self.fetch_queue
+        rob = self.rob
+        rob_buf = rob.buf
+        rob_cap = rob.capacity
+        if not fq or len(rob_buf) >= rob_cap:
+            return  # cheap exit before binding the per-uop locals
+        inflight = self._inflight
+        lsq = self.lsq
+        for _ in range(self._decode_width):
+            if not fq or len(rob_buf) >= rob_cap:
                 return
-            uop = self.fetch_queue.peek()
-            iq = self.fp_iq if uop.op in FP_CLASSES else self.int_iq
-            if iq.is_full():
+            uop = fq[0]
+            iq = self.fp_iq if uop.is_fp else self.int_iq
+            if iq.size >= iq.capacity:
                 return
-            if not self._acquire_reg(uop):
-                return
+            # inlined _acquire_reg
+            if uop.is_fp:
+                if self._fp_regs_used >= self.cfg.fp_regs:
+                    return
+                self._fp_regs_used += 1
+            elif uop.needs_int_reg:
+                if self._int_regs_used >= self.cfg.int_regs:
+                    return
+                self._int_regs_used += 1
             ins = InFlight(uop)
-            if uop.is_mem and not self.lsq.dispatch(ins):
+            if uop.is_mem and not lsq.dispatch(ins):
                 self._release_reg(ins)
                 return
-            self.fetch_queue.popleft()
-            self._inflight[uop.seq] = ins
-            self.rob.push(ins)
+            fq.popleft()
+            inflight[uop.seq] = ins
+            rob_buf.append(ins)  # inlined rob.push (capacity checked above)
             self._resolve_deps(ins)
-            iq.insert(ins)
+            # inlined IssueQueue.insert (capacity checked above)
+            iq.size += 1
+            if ins.deps_left == 0:
+                heappush(iq._ready, (uop.seq, ins))
             if uop.is_store:
                 ins.disamb_resolved = False
                 self._unresolved_stores.append(ins)
 
-    def _acquire_reg(self, uop: UOp) -> bool:
-        op = uop.op
-        if op in FP_CLASSES:
-            if self._fp_regs_used >= self.cfg.fp_regs:
-                return False
-            self._fp_regs_used += 1
-        elif op is OpClass.LOAD or op in (OpClass.INT_ALU, OpClass.INT_MULT, OpClass.INT_DIV):
-            if self._int_regs_used >= self.cfg.int_regs:
-                return False
-            self._int_regs_used += 1
-        return True
-
-    @staticmethod
-    def _produces_value(ins: InFlight) -> bool:
-        return ins.uop.op not in (OpClass.STORE, OpClass.BRANCH)
-
     def _resolve_deps(self, ins: InFlight) -> None:
         u = ins.uop
+        inflight = self._inflight
         if u.src1:
             pseq = u.seq - u.src1
-            prod = self._inflight.get(pseq)
-            if prod is not None and not prod.done and self._produces_value(prod):
+            prod = inflight.get(pseq)
+            if prod is not None and not prod.done and not (
+                prod.uop.is_store or prod.uop.is_branch
+            ):
                 ins.src1_seq = pseq
                 ins.deps_left += 1
                 self._waiters.setdefault(pseq, []).append(ins)
         if u.src2:
             pseq = u.seq - u.src2
-            prod = self._inflight.get(pseq)
-            if prod is not None and not prod.done and self._produces_value(prod):
+            prod = inflight.get(pseq)
+            if prod is not None and not prod.done and not (
+                prod.uop.is_store or prod.uop.is_branch
+            ):
                 if u.is_store:
                     # store data operand: does not gate address generation
                     ins.src2_seq = pseq
@@ -481,23 +616,26 @@ class Pipeline:
     def _fetch(self) -> None:
         if self._fetch_stall_seq is not None or self.cycle < self._fetch_block_until:
             return
-        for _ in range(self.cfg.fetch_width):
-            if self.fetch_queue.is_full():
+        fq = self.fetch_queue
+        cap = self._fetch_cap
+        line_shift = self.mem.l1i.line_shift
+        for _ in range(self._fetch_width):
+            if len(fq) >= cap:
                 return
             uop = self._next_uop()
             if uop is None:
                 return
-            iline = uop.pc >> self.mem.l1i.line_shift
+            iline = uop.pc >> line_shift
             if iline != self._last_iline:
                 self._last_iline = iline
                 lat = self.mem.iaccess(uop.pc)
                 if lat > self.cfg.mem.l1i_latency:
                     self._fetch_block_until = self.cycle + lat
-                    self.fetch_queue.append(uop)
+                    fq.append(uop)
                     if uop.is_branch:
                         self._predict(uop)
                     return
-            self.fetch_queue.append(uop)
+            fq.append(uop)
             if uop.is_branch:
                 if self._predict(uop):
                     return  # mispredict: stall until resolution
@@ -554,38 +692,77 @@ class Pipeline:
     # main loop
     # ------------------------------------------------------------------
     def step(self) -> None:
-        """Advance the machine by one cycle."""
-        self.mem.new_cycle()
-        for pool in self.pools.values():
-            pool.new_cycle(self.cycle)
-        self.lsq.begin_cycle(self.cycle)
-        self._complete()
+        """Advance the machine by one cycle.
+
+        Stage methods are only invoked when their inputs are non-empty
+        (events scheduled, ROB/issue-heap/pending-load occupancy, fetch
+        not stalled): a skipped stage is one that would have done nothing,
+        so results are bit-identical to the unconditional ordering while
+        quiescent stages cost nothing.  Per-cycle telemetry (stage 8) is
+        inlined and batched against the LSQ's cached area breakdown.
+        """
+        cycle = self.cycle
+        # inlined MemoryHierarchy.new_cycle: advance the fill clock,
+        # release ports, retire completed MSHR fills when any exist
+        mem = self.mem
+        mem.cycle = mem_cycle = mem.cycle + 1
+        dports = mem.dports
+        if dports._used:
+            dports._used = 0
+        dmshr = mem.dmshr
+        if not dmshr.blocking:
+            if dmshr._inflight:
+                dmshr.retire(mem_cycle)
+            imshr = mem.imshr
+            if imshr._inflight:
+                imshr.retire(mem_cycle)
+        for pool in self._pool_list:
+            # inlined FuncUnitPool.new_cycle: reset issue bandwidth and
+            # release finished non-pipelined units only when present
+            if pool._issued_this_cycle:
+                pool._issued_this_cycle = 0
+            if pool._busy_until:
+                pool._busy_until = [c for c in pool._busy_until if c > cycle]
+        begin = self._lsq_begin_cycle
+        if begin is not None:
+            begin(cycle)
+        if cycle in self._events:
+            self._complete()
         if self._flush_requested:
             self._flush(reason="overflow")
         elif (
             self._inflight
-            and self.cycle - self._last_commit_cycle > self.cfg.commit_watchdog
+            and cycle - self._last_commit_cycle > self._watchdog
         ):
             # deadlock-avoidance backstop (paper §3.3): the window cannot
             # drain; squash and refetch from the head
             self._flush(reason="deadlock")
-        else:
+        elif self.rob.buf:
             self._commit()
-        self._memory_issue()
-        self._issue()
-        self._dispatch()
-        self._fetch()
-        self._sample()
-        self.cycle += 1
-
-    def _sample(self) -> None:
-        for comp, area in self.lsq.area_breakdown().items():
-            self.area.record(comp, area)
-        self.area.end_cycle()
-        if self.cfg.sample_occupancy and hasattr(self.lsq, "shared_in_use"):
-            self.shared_occ_hist.add(self.lsq.shared_in_use())
-            if self.lsq.addr_buffer_len():
+        if self._pending_loads:
+            self._memory_issue()
+        if self.int_iq._ready or self.fp_iq._ready:
+            self._issue()
+        if self.fetch_queue:
+            self._dispatch()
+        if self._fetch_stall_seq is None and cycle >= self._fetch_block_until:
+            self._fetch()
+        # stage 8: telemetry (active area, occupancies), inlined
+        if not self._skip_area:
+            area_cycles = self._area_acc
+            for comp, area in self._lsq_area_breakdown().items():
+                area_cycles[comp] += area
+        self.area.cycles += 1
+        if self._sample_occ:
+            hist = self.shared_occ_hist
+            occ = len(self._occ_list)
+            if occ <= hist.max_value:
+                hist.buckets[occ] += 1
+            else:
+                hist.overflow += 1
+            if self._ab_buf:
                 self.addr_buffer_busy_cycles += 1
+        self.cycle = cycle + 1
 
     def reset_stats(self) -> None:
         """Zero all measurement state, keeping architectural state warm.
@@ -599,6 +776,10 @@ class Pipeline:
         self.lsq.stats = type(self.lsq.stats)()
         self.cache_energy.reset()
         self.area.reset()
+        if self._skip_area:
+            # re-seed the constant-zero components dropped by the reset
+            for comp, area in self.lsq.area_breakdown().items():
+                self._area_acc[comp] += area
         self.shared_occ_hist = Histogram(max_value=512)
         self.addr_buffer_busy_cycles = 0
         self.deadlock_flushes = 0
@@ -649,10 +830,11 @@ class Pipeline:
         return self.result()
 
     def _run_until(self, target_committed: int, cycle_limit: int) -> None:
+        step = self.step
         while self.committed < target_committed and self.cycle < cycle_limit:
-            if self._trace_exhausted and not self._inflight and not len(self.fetch_queue):
+            if self._trace_exhausted and not self._inflight and not self.fetch_queue:
                 break
-            self.step()
+            step()
 
     def result(self) -> SimResult:
         """Snapshot the run statistics."""

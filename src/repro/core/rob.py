@@ -10,47 +10,53 @@ head used for in-order commit and deadlock detection.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Iterator
 
-from repro.common.queues import RingBuffer
 from repro.core.inflight import InFlight
 
 
 class ReorderBuffer:
-    """Bounded in-order window."""
+    """Bounded in-order window.
 
-    __slots__ = ("_ring",)
+    Backed by a :class:`collections.deque` (the pipeline pushes, peeks and
+    pops the head every cycle; deque keeps those C-speed) with an explicit
+    capacity check, so the bound stays as honest as the old ring buffer.
+    The buffer deque is exposed as ``buf`` for the pipeline's commit loop.
+    """
+
+    __slots__ = ("buf", "capacity")
 
     def __init__(self, entries: int = 256):
-        self._ring: RingBuffer[InFlight] = RingBuffer(entries)
-
-    @property
-    def capacity(self) -> int:
-        """Maximum number of in-flight instructions."""
-        return self._ring.capacity
+        if entries < 1:
+            raise ValueError(f"capacity must be >= 1, got {entries}")
+        self.buf: deque[InFlight] = deque()
+        self.capacity = entries
 
     def __len__(self) -> int:
-        return len(self._ring)
+        return len(self.buf)
 
     def is_full(self) -> bool:
         """True when dispatch must stall."""
-        return self._ring.is_full()
+        return len(self.buf) >= self.capacity
 
     def push(self, ins: InFlight) -> None:
         """Append at the tail (dispatch, program order)."""
-        self._ring.append(ins)
+        if len(self.buf) >= self.capacity:
+            raise OverflowError("reorder buffer full")
+        self.buf.append(ins)
 
     def head(self) -> InFlight | None:
         """Oldest in-flight instruction, or None when empty."""
-        return self._ring.peek() if len(self._ring) else None
+        return self.buf[0] if self.buf else None
 
     def pop_head(self) -> InFlight:
         """Remove the oldest instruction (commit)."""
-        return self._ring.popleft()
+        return self.buf.popleft()
 
     def clear(self) -> None:
         """Squash the window (pipeline flush)."""
-        self._ring.clear()
+        self.buf.clear()
 
     def __iter__(self) -> Iterator[InFlight]:
-        return iter(self._ring)
+        return iter(self.buf)

@@ -32,9 +32,10 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, fields, replace
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, NamedTuple, Sequence
 
 from repro.core.config import ProcessorConfig
 from repro.core.pipeline import SimResult
@@ -440,11 +441,29 @@ def _disk_load(key: tuple) -> SimResult | None:
     try:
         with open(path) as fh:
             doc = json.load(fh)
+    except OSError:
+        return None  # unreadable (permissions/races): leave it alone
+    except ValueError:
+        _discard_stale(path)  # corrupt JSON: never loadable again
+        return None
+    try:
         if doc.get("version") != CACHE_VERSION or doc.get("key") != list(key):
+            # written by an older CACHE_VERSION (or a key-hash collision):
+            # it can never be served again, so reclaim the disk space
+            # instead of letting dead generations accumulate forever
+            _discard_stale(path)
             return None
         return SimResult.from_dict(doc["result"])
-    except (OSError, ValueError, KeyError, TypeError):
-        return None  # unreadable/corrupt entry: recompute and overwrite
+    except (ValueError, KeyError, TypeError):
+        return None  # malformed payload: recompute and overwrite
+
+
+def _discard_stale(path: str) -> None:
+    """Best-effort removal of a cache entry that can never be served."""
+    try:
+        os.remove(path)
+    except OSError:
+        pass
 
 
 def _disk_store(key: tuple, result: SimResult) -> None:
@@ -464,20 +483,54 @@ def _disk_store(key: tuple, result: SimResult) -> None:
         pass  # cache is best-effort; the result is already in memory
 
 
-def clear_disk_cache() -> int:
-    """Remove every entry of the on-disk cache; returns entries removed."""
+class CacheClearance(NamedTuple):
+    """What :func:`clear_disk_cache` removed.
+
+    ``removed`` counts every deleted entry; ``stale`` counts the subset
+    written by an abandoned ``CACHE_VERSION`` (or unreadable outright),
+    which could never have been served again.
+    """
+
+    removed: int
+    stale: int
+
+
+def clear_disk_cache() -> CacheClearance:
+    """Remove every entry of the on-disk cache.
+
+    Returns a :class:`CacheClearance` reporting how many entries were
+    removed and how many of them were stale (version-mismatched or
+    corrupt).  Stale entries are also reclaimed incrementally whenever a
+    lookup touches them (see ``_disk_load``); this reports whatever was
+    still left.
+    """
     d = cache_dir()
     if d is None or not os.path.isdir(d):
-        return 0
+        return CacheClearance(0, 0)
+    # entries are written as {"version": N, ...}, so the version is
+    # decidable from the first few bytes -- no need to parse the (large)
+    # result payload just to classify the entry
+    version_head = re.compile(r'^\s*\{\s*"version"\s*:\s*(\d+)')
     removed = 0
+    stale = 0
     for name in os.listdir(d):
-        if name.endswith(".json"):
-            try:
-                os.remove(os.path.join(d, name))
-                removed += 1
-            except OSError:
-                pass
-    return removed
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(d, name)
+        try:
+            with open(path) as fh:
+                m = version_head.match(fh.read(64))
+            is_stale = m is None or int(m.group(1)) != CACHE_VERSION
+        except OSError:
+            is_stale = True
+        try:
+            os.remove(path)
+        except OSError:
+            continue  # not removed: do not count it (stale stays a subset)
+        removed += 1
+        if is_stale:
+            stale += 1
+    return CacheClearance(removed, stale)
 
 
 # -- execution ---------------------------------------------------------------

@@ -10,7 +10,12 @@ window.
 
 from __future__ import annotations
 
-from repro.isa.opclasses import OpClass, MEM_CLASSES
+from repro.isa.opclasses import FP_CLASSES, OpClass
+
+#: op classes that consume an INT rename register (loads and INT ALU ops)
+_INT_REG_CLASSES = frozenset(
+    {OpClass.LOAD, OpClass.INT_ALU, OpClass.INT_MULT, OpClass.INT_DIV}
+)
 
 
 class UOp:
@@ -25,9 +30,15 @@ class UOp:
         size: access size in bytes (memory ops only, else 0).
         taken: branch outcome (branches only).
         target: branch target PC (branches only).
+        is_mem, is_load, is_store, is_branch, is_fp, needs_int_reg:
+            op-class flags, precomputed at construction (the pipeline
+            reads them many times per uop).
     """
 
-    __slots__ = ("seq", "pc", "op", "src1", "src2", "addr", "size", "taken", "target")
+    __slots__ = (
+        "seq", "pc", "op", "src1", "src2", "addr", "size", "taken", "target",
+        "is_mem", "is_load", "is_store", "is_branch", "is_fp", "needs_int_reg",
+    )
 
     def __init__(
         self,
@@ -50,26 +61,12 @@ class UOp:
         self.size = size
         self.taken = taken
         self.target = target
-
-    @property
-    def is_mem(self) -> bool:
-        """True for loads and stores."""
-        return self.op in MEM_CLASSES
-
-    @property
-    def is_load(self) -> bool:
-        """True for loads."""
-        return self.op is OpClass.LOAD
-
-    @property
-    def is_store(self) -> bool:
-        """True for stores."""
-        return self.op is OpClass.STORE
-
-    @property
-    def is_branch(self) -> bool:
-        """True for branches."""
-        return self.op is OpClass.BRANCH
+        self.is_load = op is OpClass.LOAD
+        self.is_store = op is OpClass.STORE
+        self.is_mem = self.is_load or self.is_store
+        self.is_branch = op is OpClass.BRANCH
+        self.is_fp = op in FP_CLASSES
+        self.needs_int_reg = op in _INT_REG_CLASSES
 
     def line_addr(self, line_shift: int) -> int:
         """Cache-line address (byte address >> line_shift)."""

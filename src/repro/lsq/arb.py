@@ -19,6 +19,7 @@ accesses of at most 8 bytes, so every byte overlap falls within one word.
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from dataclasses import dataclass
 
 from repro.core.inflight import InFlight
@@ -48,14 +49,23 @@ class _Row:
 class ARBLSQ(BaseLSQ):
     """Address Resolution Buffer model."""
 
+    __slots__ = ("cfg", "_banks", "_pending", "_inflight", "_zero_area")
+
     name = "arb"
+    #: the breakdown is {name: 0.0} forever; the pipeline's telemetry
+    #: stage seeds the accumulator once and skips the per-cycle adds
+    area_is_constant_zero = True
 
     def __init__(self, cfg: ARBConfig | None = None):
         super().__init__()
         self.cfg = cfg or ARBConfig()
         self._banks: list[dict[int, _Row]] = [dict() for _ in range(self.cfg.banks)]
-        self._pending: list[InFlight] = []  # addr-ready, waiting for a row
+        #: (seq, ins) pairs, kept sorted by age (addr-ready, waiting for a row)
+        self._pending: list[tuple[int, InFlight]] = []
         self._inflight = 0
+        # constant breakdown: the pipeline samples area every cycle and the
+        # ARB has none (the paper evaluates it on IPC only)
+        self._zero_area = {self.name: 0.0}
 
     # -- helpers -------------------------------------------------------------
     def _bank_of(self, ins: InFlight) -> int:
@@ -94,24 +104,28 @@ class ARBLSQ(BaseLSQ):
     def address_ready(self, ins: InFlight) -> None:
         if not self._try_place(ins):
             ins.in_addr_buffer = True
-            self._pending.append(ins)
-            self._pending.sort(key=lambda i: i.seq)
+            # sorted insert (seqs are unique, so the pair never compares
+            # the InFlight) replacing the old append-then-sort
+            insort(self._pending, (ins.seq, ins))
 
     def begin_cycle(self, cycle: int) -> None:
         if not self._pending:
             return
-        still: list[InFlight] = []
-        for ins in self._pending:
-            if not self._try_place(ins):
-                still.append(ins)
+        still: list[tuple[int, InFlight]] = []
+        for pair in self._pending:
+            if not self._try_place(pair[1]):
+                still.append(pair)
         self._pending = still
 
     # -- load scheduling -----------------------------------------------------
+    def _forward_source(self, ins: InFlight) -> InFlight | None:
+        """Youngest older overlapping store in ``ins``'s address row."""
+        return youngest_older_overlapping(ins, ins.placement.slots)
+
     def load_ready(self, ins: InFlight) -> bool:
         if ins.placement is None or ins.mem_started:
             return False
-        row: _Row = ins.placement
-        src = youngest_older_overlapping(ins, row.slots)
+        src = self._forward_source(ins)
         if src is None:
             return True
         if src.contains(ins):
@@ -119,8 +133,7 @@ class ARBLSQ(BaseLSQ):
         return False  # partial overlap: wait for commit
 
     def route_load(self, ins: InFlight) -> LoadRoute:
-        row: _Row = ins.placement
-        src = youngest_older_overlapping(ins, row.slots)
+        src = self._forward_source(ins)
         if src is not None and src.contains(ins) and src.store_data_ready:
             self.stats.loads_forwarded += 1
             return LoadRoute(RouteKind.FORWARD, store=src)
@@ -152,13 +165,19 @@ class ARBLSQ(BaseLSQ):
         if ins.placement is not None or not ins.addr_ready:
             return False
         if self._try_place(ins):  # priority placement for the oldest instruction
-            if ins in self._pending:
-                self._pending.remove(ins)
+            # sorted (seq, ins) pairs with unique seqs: bisect finds it
+            pending = self._pending
+            i = bisect_left(pending, (ins.seq,))
+            if i < len(pending) and pending[i][1] is ins:
+                del pending[i]
             return False
         return True
 
     def active_area(self) -> float:
         return 0.0  # the paper evaluates the ARB on IPC only (Figure 1)
+
+    def area_breakdown(self) -> dict[str, float]:
+        return self._zero_area
 
     def occupancy(self) -> int:
         return self._inflight

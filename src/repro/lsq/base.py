@@ -51,7 +51,7 @@ class RouteKind(Enum):
     FORWARD = "forward"
 
 
-@dataclass
+@dataclass(slots=True)
 class LoadRoute:
     """Routing decision for one load access."""
 
@@ -64,7 +64,7 @@ class LoadRoute:
     skip_tlb: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class StoreRoute:
     """Routing decision for one store's cache write at commit."""
 
@@ -89,7 +89,13 @@ class LSQStats:
 
 
 class BaseLSQ(ABC):
-    """Abstract load/store queue."""
+    """Abstract load/store queue.
+
+    Declares ``__slots__`` so concrete models can opt into slotted
+    layouts (the models are on the simulator's per-cycle hot path).
+    """
+
+    __slots__ = ("energy", "stats")
 
     name = "base"
 

@@ -15,10 +15,20 @@ Accounting convention for data movement (applied consistently to every
 model): a store's datum is written once when it arrives and read once at
 commit; a load's datum is written once when it returns (from cache or
 forwarding), and a forward additionally reads the source store's datum.
+
+Hot-path structure: the forwarding search used to scan the whole store
+queue per pending load per cycle.  Address-ready stores are additionally
+indexed by the aligned 8-byte words they cover (a store of at most 8
+size-aligned bytes covers one word; the index still handles multi-word
+spans), so the per-cycle search touches only same-word candidates.  The
+age-ordered deques remain the ground truth for capacity and commit order;
+sorted address-ready sequence lists give O(log n) fairness-rule
+comparison counts.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right, insort
 from collections import deque
 
 from repro.core.inflight import InFlight
@@ -26,9 +36,19 @@ from repro.energy.tables import CONVENTIONAL_LSQ_ENERGY as E
 from repro.energy.tables import entry_area_conventional
 from repro.lsq.base import BaseLSQ, LoadRoute, RouteKind, StoreRoute
 
+#: aligned-word granularity of the forwarding index (8-byte rows, matching
+#: the synthetic ISA's maximum access size)
+_WORD_SHIFT = 3
+
 
 class ConventionalLSQ(BaseLSQ):
     """Fully-associative LSQ with store-to-load forwarding."""
+
+    __slots__ = (
+        "capacity", "active_extra", "_ents", "_stores", "_loads",
+        "_store_words", "_ready_store_seqs", "_ready_load_seqs",
+        "_entry_area", "_area_cache",
+    )
 
     name = "conventional"
 
@@ -39,7 +59,15 @@ class ConventionalLSQ(BaseLSQ):
         self._ents: deque[InFlight] = deque()
         self._stores: deque[InFlight] = deque()
         self._loads: deque[InFlight] = deque()
+        #: aligned word -> address-ready stores covering it (insertion order)
+        self._store_words: dict[int, list[InFlight]] = {}
+        #: sorted seqs of address-ready stores / loads still in the queue
+        self._ready_store_seqs: list[int] = []
+        self._ready_load_seqs: list[int] = []
         self._entry_area = entry_area_conventional()
+        # cached active-area breakdown (the pipeline samples every cycle;
+        # occupancy changes only at dispatch/commit/flush)
+        self._area_cache: dict[str, float] | None = None
 
     # -- lifecycle ---------------------------------------------------------
     def dispatch(self, ins: InFlight) -> bool:
@@ -49,20 +77,36 @@ class ConventionalLSQ(BaseLSQ):
         (self._stores if ins.uop.is_store else self._loads).append(ins)
         self.stats.dispatched += 1
         ins.placement = self  # dispatched == placed for this design
+        self._area_cache = None
         return True
+
+    def _words_of(self, ins: InFlight) -> range:
+        """Aligned words covered by a memory access (usually exactly one)."""
+        return range(ins.byte0 >> _WORD_SHIFT, ((ins.byte1 - 1) >> _WORD_SHIFT) + 1)
+
+    def _count_comparisons(self, ins: InFlight) -> int:
+        """Fair comparison count (paper §4.2): older address-ready stores
+        for a load, younger address-ready loads for a store.
+
+        The sorted seq lists hold exactly the address-ready entries still
+        queued, so a bisect reproduces the linear scans retained in
+        :class:`repro.lsq.reference.ReferenceConventionalLSQ`.
+        """
+        if ins.uop.is_load:
+            return bisect_left(self._ready_store_seqs, ins.seq)
+        ready_loads = self._ready_load_seqs
+        return len(ready_loads) - bisect_right(ready_loads, ins.seq)
 
     def address_ready(self, ins: InFlight) -> None:
         # Address write into the CAM.
         self.energy.charge("lsq", E["addr_rw"])
-        # Fair comparison count (paper section 4.2).
+        compared = self._count_comparisons(ins)
         if ins.uop.is_load:
-            compared = sum(
-                1 for st in self._stores if st.seq < ins.seq and st.addr_ready
-            )
+            insort(self._ready_load_seqs, ins.seq)
         else:
-            compared = sum(
-                1 for ld in self._loads if ld.seq > ins.seq and ld.addr_ready
-            )
+            insort(self._ready_store_seqs, ins.seq)
+            for w in self._words_of(ins):
+                self._store_words.setdefault(w, []).append(ins)
             ins.disamb_resolved = True
         self.energy.charge("lsq", E["addr_compare_base"] + E["addr_compare_per_addr"] * compared)
         self.stats.addr_comparisons += compared
@@ -74,13 +118,23 @@ class ConventionalLSQ(BaseLSQ):
 
     # -- load scheduling -----------------------------------------------------
     def _forward_source(self, ins: InFlight) -> InFlight | None:
+        """Youngest older overlapping address-ready store for ``ins``.
+
+        Candidates come from the word index; max-age selection is
+        order-independent, so the result matches the old program-order
+        scan of the whole store queue.
+        """
+        seq = ins.seq
+        b0 = ins.byte0
+        b1 = ins.byte1
         best: InFlight | None = None
-        for st in self._stores:
-            if st.seq >= ins.seq:
-                break  # program-order deque: everything after is younger
-            if st.addr_ready and st.overlaps(ins):
-                if best is None or st.seq > best.seq:
+        best_seq = -1
+        words = self._words_of(ins)
+        for w in words:
+            for st in self._store_words.get(w, ()):
+                if best_seq < st.seq < seq and st.byte0 < b1 and b0 < st.byte1:
                     best = st
+                    best_seq = st.seq
         return best
 
     def load_ready(self, ins: InFlight) -> bool:
@@ -115,6 +169,11 @@ class ConventionalLSQ(BaseLSQ):
         return StoreRoute()
 
     # -- release -------------------------------------------------------------
+    def _drop_ready_seq(self, seqs: list[int], seq: int) -> None:
+        i = bisect_left(seqs, seq)
+        if i < len(seqs) and seqs[i] == seq:
+            del seqs[i]
+
     def commit(self, ins: InFlight) -> None:
         if self._ents and self._ents[0] is ins:
             self._ents.popleft()
@@ -125,11 +184,26 @@ class ConventionalLSQ(BaseLSQ):
             q.popleft()
         else:  # pragma: no cover
             q.remove(ins)
+        if ins.addr_ready:
+            if ins.uop.is_store:
+                self._drop_ready_seq(self._ready_store_seqs, ins.seq)
+                for w in self._words_of(ins):
+                    peers = self._store_words[w]
+                    peers.remove(ins)
+                    if not peers:
+                        del self._store_words[w]
+            else:
+                self._drop_ready_seq(self._ready_load_seqs, ins.seq)
+        self._area_cache = None
 
     def flush(self) -> None:
         self._ents.clear()
         self._stores.clear()
         self._loads.clear()
+        self._store_words.clear()
+        self._ready_store_seqs.clear()
+        self._ready_load_seqs.clear()
+        self._area_cache = None
 
     # -- introspection ---------------------------------------------------------
     def head_blocked(self, ins: InFlight) -> bool:
@@ -140,6 +214,11 @@ class ConventionalLSQ(BaseLSQ):
         if self.capacity is not None:
             active = min(active, self.capacity)
         return active * self._entry_area
+
+    def area_breakdown(self) -> dict[str, float]:
+        if self._area_cache is None:
+            self._area_cache = {self.name: self.active_area()}
+        return self._area_cache
 
     def occupancy(self) -> int:
         return len(self._ents)

@@ -28,6 +28,7 @@ Energy follows Table 5 exactly; see the module docstring of
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import chain
 
 from repro.common.queues import BoundedFIFO
 from repro.core.inflight import InFlight
@@ -42,7 +43,7 @@ from repro.energy.tables import (
     slot_area_distrib,
     slot_area_shared,
 )
-from repro.lsq.base import BaseLSQ, LoadRoute, RouteKind, StoreRoute, youngest_older_overlapping
+from repro.lsq.base import BaseLSQ, LoadRoute, RouteKind, StoreRoute
 
 
 @dataclass(frozen=True)
@@ -77,6 +78,15 @@ class SamieEntry:
 class SamieLSQ(BaseLSQ):
     """The paper's SAMIE-LSQ."""
 
+    __slots__ = (
+        "cfg", "_banks", "_shared", "_bank_lines", "_shared_lines",
+        "_addr_buffer", "need_flush", "_retry_ok", "_agu_reserved",
+        "_active_banks", "_full_banks",
+        "_area_cache", "shared_occupancy_counts",
+        "_area_entry_d", "_area_slot_d", "_area_entry_s", "_area_slot_s",
+        "_area_slot_ab",
+    )
+
     name = "samie"
 
     def __init__(self, cfg: SamieConfig | None = None):
@@ -84,6 +94,21 @@ class SamieLSQ(BaseLSQ):
         self.cfg = cfg or SamieConfig()
         self._banks: list[list[SamieEntry]] = [[] for _ in range(self.cfg.banks)]
         self._shared: list[SamieEntry] = []
+        # O(1) line -> entries indexes maintained alongside the lists
+        # (placement and the per-cycle forwarding search used to scan the
+        # bank linearly; the lists are kept for age-ordered iteration and
+        # the energy model's per-entry charges).  A line can map to more
+        # than one entry (a full entry forces a fresh allocation), so the
+        # values are insertion-ordered entry lists.
+        self._bank_lines: list[dict[int, list[SamieEntry]]] = [
+            {} for _ in range(self.cfg.banks)
+        ]
+        self._shared_lines: dict[int, list[SamieEntry]] = {}
+        # active-area bookkeeping: banks with at least one entry (the area
+        # rebuild walks only these) and the count of completely full banks
+        # (the rest power one spare entry each)
+        self._active_banks: dict[int, list[SamieEntry]] = {}
+        self._full_banks = 0
         self._addr_buffer: BoundedFIFO[InFlight] = BoundedFIFO(self.cfg.addr_buffer_slots)
         #: set when an address can be placed nowhere (AddrBuffer overflow);
         #: the pipeline must flush.
@@ -95,8 +120,10 @@ class SamieLSQ(BaseLSQ):
         # cached active-area breakdown (contents change far less often
         # than once per cycle, and the pipeline samples it every cycle)
         self._area_cache: dict[str, float] | None = None
-        # occupancy telemetry for the sizing studies (Figures 3 and 4)
-        self.shared_occupancy_samples: list[int] = []
+        # occupancy telemetry for the sizing studies (Figures 3 and 4):
+        # a bounded streaming histogram {occupancy: samples} -- O(distinct
+        # occupancies) memory instead of one list element per cycle
+        self.shared_occupancy_counts: dict[int, int] = {}
         self._area_entry_d = entry_area_distrib()
         self._area_slot_d = slot_area_distrib()
         self._area_entry_s = entry_area_shared()
@@ -119,50 +146,60 @@ class SamieLSQ(BaseLSQ):
         The address travels the bus to its bank and is compared against
         every in-use entry of that bank and of the SharedLSQ, in parallel;
         the age identifier is compared against every in-use slot of the
-        same entries to build the forwarding links.
+        same entries to build the forwarding links.  Charges are applied
+        in the same order as the original per-call accounting (inlined
+        accumulator adds; the table values are non-negative constants).
         """
-        self.energy.charge("bus", E_BUS["send_address"])
-        self.energy.charge(
-            "distrib", E_D["addr_compare_base"] + E_D["addr_compare_per_addr"] * len(bank)
+        pj = self.energy._pj
+        shared = self._shared
+        pj["bus"] += E_BUS["send_address"]
+        pj["distrib"] += (
+            E_D["addr_compare_base"] + E_D["addr_compare_per_addr"] * len(bank)
         )
-        self.energy.charge(
-            "shared",
-            E_S["addr_compare_base"] + E_S["addr_compare_per_addr"] * len(self._shared),
+        pj["shared"] += (
+            E_S["addr_compare_base"] + E_S["addr_compare_per_addr"] * len(shared)
         )
+        age_base_d = E_D["age_compare_base"]
+        age_per_d = E_D["age_compare_per_id"]
         for entry in bank:
-            self.energy.charge(
-                "distrib",
-                E_D["age_compare_base"] + E_D["age_compare_per_id"] * len(entry.slots),
-            )
-        for entry in self._shared:
-            self.energy.charge(
-                "shared",
-                E_S["age_compare_base"] + E_S["age_compare_per_id"] * len(entry.slots),
-            )
-        self.stats.addr_comparisons += len(bank) + len(self._shared)
+            pj["distrib"] += age_base_d + age_per_d * len(entry.slots)
+        age_base_s = E_S["age_compare_base"]
+        age_per_s = E_S["age_compare_per_id"]
+        for entry in shared:
+            pj["shared"] += age_base_s + age_per_s * len(entry.slots)
+        self.stats.addr_comparisons += len(bank) + len(shared)
 
     def _try_place(self, ins: InFlight, charge: bool = True) -> bool:
         """Attempt DistribLSQ/SharedLSQ placement; True on success."""
-        line = self.line_of(ins)
-        bank = self._banks[self.bank_of(ins)]
+        line = ins.uop.addr >> self.cfg.line_shift
+        bank_idx = line % self.cfg.banks
+        bank = self._banks[bank_idx]
         if charge:
             self._charge_placement_attempt(bank)
         cfg = self.cfg
-        # 1. join a DistribLSQ entry holding the same line
+        lines = self._bank_lines[bank_idx]
+        # 1. join a DistribLSQ entry holding the same line (the index list
+        #    preserves bank insertion order, so the first entry with a free
+        #    slot is the same one the old linear bank scan found)
         target: SamieEntry | None = None
-        for entry in bank:
-            if entry.line == line and len(entry.slots) < cfg.slots_per_entry:
+        for entry in lines.get(line, ()):
+            if len(entry.slots) < cfg.slots_per_entry:
                 target = entry
                 break
         # 2. allocate a fresh DistribLSQ entry
         if target is None and len(bank) < cfg.entries_per_bank:
             target = SamieEntry(line, shared=False)
             bank.append(target)
+            lines.setdefault(line, []).append(target)
+            if len(bank) == 1:
+                self._active_banks[bank_idx] = bank
+            if len(bank) == cfg.entries_per_bank:
+                self._full_banks += 1
             self.energy.charge("distrib", E_D["addr_rw"])
         # 3. join a SharedLSQ entry holding the same line
         if target is None:
-            for entry in self._shared:
-                if entry.line == line and len(entry.slots) < cfg.slots_per_entry:
+            for entry in self._shared_lines.get(line, ()):
+                if len(entry.slots) < cfg.slots_per_entry:
                     target = entry
                     break
         # 4. allocate a fresh SharedLSQ entry
@@ -171,6 +208,7 @@ class SamieLSQ(BaseLSQ):
         ):
             target = SamieEntry(line, shared=True)
             self._shared.append(target)
+            self._shared_lines.setdefault(line, []).append(target)
             self.energy.charge("shared", E_S["addr_rw"])
         if target is None:
             self.stats.placement_failures += 1
@@ -201,7 +239,7 @@ class SamieLSQ(BaseLSQ):
     def can_accept_address(self) -> bool:
         # §3.3: never execute an address computation that could find the
         # AddrBuffer full -- reserve a slot per in-flight AGU.
-        return len(self._addr_buffer) + self._agu_reserved < self.cfg.addr_buffer_slots
+        return len(self._addr_buffer._buf) + self._agu_reserved < self.cfg.addr_buffer_slots
 
     def address_issued(self) -> None:
         self._agu_reserved += 1
@@ -229,35 +267,66 @@ class SamieLSQ(BaseLSQ):
         # nothing -- the modelled hardware wakes the AddrBuffer on commit.
         if not self._retry_ok:
             return
-        while len(self._addr_buffer):
-            head = self._addr_buffer.peek()
-            if not self._try_place(head):
+        buf = self._addr_buffer._buf  # deque: drained head-first
+        while buf:
+            if not self._try_place(buf[0]):
                 self._retry_ok = False
                 break
             self.energy.charge("addrbuffer", E_AB["datum_rw"] + E_AB["age_rw"])
-            self._addr_buffer.pop()
+            buf.popleft()
             self._area_cache = None
 
     def sample_occupancy(self) -> None:
-        """Record per-cycle SharedLSQ occupancy (sizing studies)."""
-        self.shared_occupancy_samples.append(len(self._shared))
+        """Record per-cycle SharedLSQ occupancy (sizing studies).
+
+        Streams into a bounded ``{occupancy: samples}`` histogram --
+        O(distinct occupancy values) memory regardless of run length,
+        unlike the old per-cycle sample list.
+        """
+        occ = len(self._shared)
+        counts = self.shared_occupancy_counts
+        counts[occ] = counts.get(occ, 0) + 1
 
     # -- load scheduling -----------------------------------------------------
     def _matching_stores(self, ins: InFlight) -> list[InFlight]:
         line = self.line_of(ins)
         out: list[InFlight] = []
-        for entry in self._banks[self.bank_of(ins)]:
-            if entry.line == line:
-                out.extend(s for s in entry.slots if s.uop.is_store)
-        for entry in self._shared:
-            if entry.line == line:
-                out.extend(s for s in entry.slots if s.uop.is_store)
+        for entry in self._bank_lines[self.bank_of(ins)].get(line, ()):
+            out.extend(s for s in entry.slots if s.uop.is_store)
+        for entry in self._shared_lines.get(line, ()):
+            out.extend(s for s in entry.slots if s.uop.is_store)
         return out
+
+    def _forward_source(self, ins: InFlight) -> InFlight | None:
+        """Youngest older overlapping store to ``ins``'s line, via the
+        line index (selection by max age is order-independent, so this
+        matches the old linear ``youngest_older_overlapping`` scan)."""
+        line = ins.uop.addr >> self.cfg.line_shift
+        seq = ins.seq
+        b0 = ins.byte0
+        b1 = ins.byte1
+        best: InFlight | None = None
+        best_seq = -1
+        for entry in chain(
+            self._bank_lines[line % self.cfg.banks].get(line, ()),
+            self._shared_lines.get(line, ()),
+        ):
+            for st in entry.slots:
+                if (
+                    best_seq < st.seq < seq
+                    and st.uop.is_store
+                    and st.addr_ready
+                    and st.byte0 < b1
+                    and b0 < st.byte1
+                ):
+                    best = st
+                    best_seq = st.seq
+        return best
 
     def load_ready(self, ins: InFlight) -> bool:
         if ins.placement is None or ins.mem_started:
             return False
-        src = youngest_older_overlapping(ins, self._matching_stores(ins))
+        src = self._forward_source(ins)
         if src is None:
             return True
         if src.contains(ins):
@@ -268,33 +337,36 @@ class SamieLSQ(BaseLSQ):
         entry: SamieEntry = ins.placement
         tab = E_S if entry.shared else E_D
         cat = "shared" if entry.shared else "distrib"
-        src = youngest_older_overlapping(ins, self._matching_stores(ins))
+        pj = self.energy._pj
+        src = self._forward_source(ins)
         if src is not None and src.contains(ins) and src.store_data_ready:
-            self.energy.charge(cat, 2 * tab["datum_rw"])  # read store, write load
+            pj[cat] += 2 * tab["datum_rw"]  # read store, write load
             self.stats.loads_forwarded += 1
             return LoadRoute(RouteKind.FORWARD, store=src)
-        self.energy.charge(cat, tab["datum_rw"])  # load result write
+        pj[cat] += tab["datum_rw"]  # load result write
         self.stats.loads_from_cache += 1
         return self._cache_route(entry, tab, cat)
 
     def _cache_route(self, entry: SamieEntry, tab: dict, cat: str) -> LoadRoute:
         way_known = entry.location is not None
         skip_tlb = entry.tlb_cached
+        pj = self.energy._pj
+        stats = self.stats
         if way_known:
-            self.energy.charge(cat, tab["cache_line_id_rw"])  # read cached location
-            self.stats.way_known_accesses += 1
+            pj[cat] += tab["cache_line_id_rw"]  # read cached location
+            stats.way_known_accesses += 1
         else:
-            self.stats.full_cache_accesses += 1
+            stats.full_cache_accesses += 1
         if skip_tlb:
-            self.energy.charge(cat, tab["tlb_translation_rw"])  # read cached translation
-            self.stats.tlb_skipped_accesses += 1
+            pj[cat] += tab["tlb_translation_rw"]  # read cached translation
+            stats.tlb_skipped_accesses += 1
         return LoadRoute(RouteKind.CACHE, way_known=way_known, skip_tlb=skip_tlb)
 
     def route_store_commit(self, ins: InFlight) -> StoreRoute:
         entry: SamieEntry = ins.placement
         tab = E_S if entry.shared else E_D
         cat = "shared" if entry.shared else "distrib"
-        self.energy.charge(cat, tab["datum_rw"])  # read datum for the write
+        self.energy._pj[cat] += tab["datum_rw"]  # read datum for the write
         r = self._cache_route(entry, tab, cat)
         return StoreRoute(way_known=r.way_known, skip_tlb=r.skip_tlb)
 
@@ -312,12 +384,13 @@ class SamieLSQ(BaseLSQ):
             return
         tab = E_S if entry.shared else E_D
         cat = "shared" if entry.shared else "distrib"
+        pj = self.energy._pj
         if entry.location != (set_idx, way):
             entry.location = (set_idx, way)
-            self.energy.charge(cat, tab["cache_line_id_rw"])
+            pj[cat] += tab["cache_line_id_rw"]
         if not entry.tlb_cached:
             entry.tlb_cached = True
-            self.energy.charge(cat, tab["tlb_translation_rw"])
+            pj[cat] += tab["tlb_translation_rw"]
 
     def on_l1_evict(self, set_idx: int, line_addr: int) -> None:
         # Reset without a line-address comparison (paper §3.4): every
@@ -348,15 +421,32 @@ class SamieLSQ(BaseLSQ):
         if not entry.slots:
             if entry.shared:
                 self._shared.remove(entry)
+                index = self._shared_lines
             else:
-                self._banks[self.bank_of(ins)].remove(entry)
+                bank_idx = entry.line % self.cfg.banks
+                bank = self._banks[bank_idx]
+                if len(bank) == self.cfg.entries_per_bank:
+                    self._full_banks -= 1
+                bank.remove(entry)
+                if not bank:
+                    del self._active_banks[bank_idx]
+                index = self._bank_lines[bank_idx]
+            peers = index[entry.line]
+            peers.remove(entry)
+            if not peers:
+                del index[entry.line]
         self._retry_ok = True  # capacity freed: wake the AddrBuffer
         self._area_cache = None
 
     def flush(self) -> None:
         for bank in self._banks:
             bank.clear()
+        for lines in self._bank_lines:
+            lines.clear()
+        self._active_banks.clear()
+        self._full_banks = 0
         self._shared.clear()
+        self._shared_lines.clear()
         self._addr_buffer.clear()
         self.need_flush = False
         self._retry_ok = True
@@ -388,23 +478,39 @@ class SamieLSQ(BaseLSQ):
         return sum(self.area_breakdown().values())
 
     def area_breakdown(self) -> dict[str, float]:
+        # Closed form over the in-use entries only: one powered spare entry
+        # per non-full bank is batched as `count * spare`, and only active
+        # banks are walked for per-entry terms.  This regroups the float
+        # sum relative to a sequential walk of all banks -- exact, because
+        # the Table 5 areas are integral um^2 (guarded by
+        # tests/test_bit_identity.py), so every partial sum is an integer
+        # far below 2**53 and addition never rounds.
         if self._area_cache is not None:
             return self._area_cache
         cfg = self.cfg
-        distrib = 0.0
-        for bank in self._banks:
+        max_slots = cfg.slots_per_entry
+        entry_d = self._area_entry_d
+        slot_d = self._area_slot_d
+        distrib = (cfg.banks - self._full_banks) * (entry_d + slot_d)
+        for bank in self._active_banks.values():
             for entry in bank:
-                slots = min(len(entry.slots) + 1, cfg.slots_per_entry)
-                distrib += self._area_entry_d + slots * self._area_slot_d
-            if len(bank) < cfg.entries_per_bank:  # one powered spare entry
-                distrib += self._area_entry_d + self._area_slot_d
+                slots = len(entry.slots) + 1
+                if slots > max_slots:
+                    slots = max_slots
+                distrib += entry_d + slots * slot_d
+        entry_s = self._area_entry_s
+        slot_s = self._area_slot_s
         shared = 0.0
         for entry in self._shared:
-            slots = min(len(entry.slots) + 1, cfg.slots_per_entry)
-            shared += self._area_entry_s + slots * self._area_slot_s
+            slots = len(entry.slots) + 1
+            if slots > max_slots:
+                slots = max_slots
+            shared += entry_s + slots * slot_s
         if cfg.shared_entries is None or len(self._shared) < cfg.shared_entries:
-            shared += self._area_entry_s + self._area_slot_s
-        ab_slots = min(len(self._addr_buffer) + 4, cfg.addr_buffer_slots)
+            shared += entry_s + slot_s
+        ab_slots = len(self._addr_buffer._buf) + 4
+        if ab_slots > cfg.addr_buffer_slots:
+            ab_slots = cfg.addr_buffer_slots
         addrbuffer = ab_slots * self._area_slot_ab
         self._area_cache = {"distrib": distrib, "shared": shared, "addrbuffer": addrbuffer}
         return self._area_cache
@@ -427,4 +533,4 @@ class SamieLSQ(BaseLSQ):
 
     def addr_buffer_len(self) -> int:
         """Instructions currently parked in the AddrBuffer."""
-        return len(self._addr_buffer)
+        return len(self._addr_buffer._buf)

@@ -34,7 +34,7 @@ class CacheStats:
         return self.misses / self.accesses if self.accesses else 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessResult:
     """Outcome of one cache access."""
 

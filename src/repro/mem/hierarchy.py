@@ -73,7 +73,7 @@ class MemConfig:
     fast_way_hit_latency: int | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class DAccessOutcome:
     """Timing and placement outcome of one data-side access."""
 
@@ -115,12 +115,25 @@ class MemoryHierarchy:
     # ------------------------------------------------------------------
     def new_cycle(self) -> None:
         """Advance the hierarchy clock: release ports, retire completed
-        fills (freeing their MSHR entries for new misses)."""
-        self.cycle += 1
-        self.dports.new_cycle()
-        if not self.dmshr.blocking:
-            self.dmshr.retire(self.cycle)
-            self.imshr.retire(self.cycle)
+        fills (freeing their MSHR entries for new misses).
+
+        NOTE: ``Pipeline.step()`` inlines this body on the detailed
+        cycle loop for speed -- keep the two in sync when changing the
+        per-cycle protocol (this method still serves tests and any
+        future non-pipeline driver)."""
+        cycle = self.cycle + 1
+        self.cycle = cycle
+        dports = self.dports
+        if dports._used:
+            dports._used = 0
+        # hot path: skip the retire scans entirely while nothing is in
+        # flight (the common case for the I-side and quiet D-side phases)
+        dmshr = self.dmshr
+        if not dmshr.blocking:
+            if dmshr._inflight:
+                dmshr.retire(cycle)
+            if self.imshr._inflight:
+                self.imshr.retire(cycle)
 
     # ------------------------------------------------------------------
     def _miss_latency(self, addr: int, write: bool) -> tuple[int, bool]:

@@ -71,6 +71,9 @@ class MSHRFile:
         #: blocking-cache model (see module docstring)
         self.blocking = entries == 1 and targets == 1
         self._inflight: dict[int, MSHREntry] = {}
+        #: earliest outstanding fill completion; lets the per-cycle retire
+        #: poll skip the scan until something can actually complete
+        self._min_ready = 0
         self.stats = MSHRStats()
 
     # -- queries -----------------------------------------------------------
@@ -97,6 +100,8 @@ class MSHRFile:
         if line in self._inflight:
             raise RuntimeError(f"{self.name}: line {line:#x} already in flight")
         entry = MSHREntry(line, ready_cycle)
+        if not self._inflight or ready_cycle < self._min_ready:
+            self._min_ready = ready_cycle
         self._inflight[line] = entry
         self.stats.allocations += 1
         if len(self._inflight) > self.stats.peak_inflight:
@@ -113,11 +118,14 @@ class MSHRFile:
 
     def retire(self, cycle: int) -> int:
         """Release every entry whose fill has completed by ``cycle``."""
-        if not self._inflight:
+        inflight = self._inflight
+        if not inflight or cycle < self._min_ready:
             return 0
-        done = [line for line, e in self._inflight.items() if e.ready_cycle <= cycle]
+        done = [line for line, e in inflight.items() if e.ready_cycle <= cycle]
         for line in done:
-            del self._inflight[line]
+            del inflight[line]
+        if inflight:
+            self._min_ready = min(e.ready_cycle for e in inflight.values())
         self.stats.retired += len(done)
         return len(done)
 

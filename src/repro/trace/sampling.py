@@ -96,10 +96,13 @@ class SamplePlan:
             raise ValueError(f"sampling ratio must be in (0, 1), got {ratio}")
         measure = max(1, round(period * ratio))
         warmup = round(measure * warmup_frac)
-        if warmup + measure >= period:
+        if warmup + measure > period:
+            # same boundary as __post_init__: a plan that exactly fills the
+            # period (warmup + measure == period) is legal -- it degenerates
+            # to full simulation with windowed statistics
             raise ValueError(
                 f"ratio {ratio} with period {period} leaves nothing to skip "
-                f"(measure {measure} + warmup {warmup} fills the period); "
+                f"(measure {measure} + warmup {warmup} exceeds the period); "
                 "use a smaller ratio/warmup_frac or plain full replay"
             )
         return cls(period=period, warmup=warmup, measure=measure)

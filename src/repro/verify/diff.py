@@ -209,23 +209,29 @@ def inject_fault(name: str | None) -> Iterator[None]:
         return
     if name != "no-store-forwarding":
         raise ValueError(f"unknown fault {name!r}; choose from {FAULTS}")
-    import repro.lsq.arb as arb_mod
-    import repro.lsq.samie as samie_mod
+    import repro.lsq.base as base_mod
 
+    # Patch every model's _forward_source (the hot-path search) plus the
+    # shared reference helper, so the retained linear-scan reference
+    # models (repro.lsq.reference) are blinded identically.
     saved = (
-        samie_mod.youngest_older_overlapping,
-        arb_mod.youngest_older_overlapping,
+        SamieLSQ._forward_source,
+        ARBLSQ._forward_source,
         ConventionalLSQ._forward_source,
+        base_mod.youngest_older_overlapping,
     )
-    samie_mod.youngest_older_overlapping = lambda load, stores: None
-    arb_mod.youngest_older_overlapping = lambda load, stores: None
-    ConventionalLSQ._forward_source = lambda self, ins: None
+    blind = lambda self, ins: None  # noqa: E731
+    SamieLSQ._forward_source = blind
+    ARBLSQ._forward_source = blind
+    ConventionalLSQ._forward_source = blind
+    base_mod.youngest_older_overlapping = lambda load, stores: None
     try:
         yield
     finally:
-        samie_mod.youngest_older_overlapping = saved[0]
-        arb_mod.youngest_older_overlapping = saved[1]
+        SamieLSQ._forward_source = saved[0]
+        ARBLSQ._forward_source = saved[1]
         ConventionalLSQ._forward_source = saved[2]
+        base_mod.youngest_older_overlapping = saved[3]
 
 
 # -- checking and minimization -------------------------------------------------

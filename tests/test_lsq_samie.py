@@ -405,4 +405,15 @@ class TestEnergyAndArea:
         q.sample_occupancy()
         place(q, OpClass.LOAD, 0, addr_for_bank(0, line_idx=0))
         q.sample_occupancy()
-        assert q.shared_occupancy_samples == [0, 0]
+        # streaming histogram: both cycles saw zero SharedLSQ entries
+        assert q.shared_occupancy_counts == {0: 2}
+
+    def test_shared_occupancy_sampling_is_bounded(self):
+        # O(distinct occupancies) memory regardless of how long we sample
+        q = make(shared=4, banks=2, entries=1, slots=1)
+        for i in range(4):
+            place(q, OpClass.LOAD, i, addr_for_bank(0, line_idx=i))
+        for _ in range(10_000):
+            q.sample_occupancy()
+        assert len(q.shared_occupancy_counts) <= 5
+        assert sum(q.shared_occupancy_counts.values()) == 10_000

@@ -186,8 +186,38 @@ class TestDiskCache:
 
     def test_clear_disk_cache(self):
         run_many([SimSpec.make("gzip", MACHINE_SAMIE, **SMALL)], jobs=1)
-        assert runner.clear_disk_cache() == 1
-        assert runner.clear_disk_cache() == 0
+        assert runner.clear_disk_cache() == (1, 0)  # one entry, none stale
+        assert runner.clear_disk_cache() == (0, 0)
+
+    def test_stale_version_entry_deleted_on_load(self):
+        spec = SimSpec.make("gzip", MACHINE_SAMIE, **SMALL)
+        first = run_many([spec], jobs=1)[0]
+        path = runner._disk_path(spec.key)
+        with open(path) as fh:
+            doc = json.load(fh)
+        doc["version"] = runner.CACHE_VERSION - 1
+        with open(path, "w") as fh:
+            json.dump(doc, fh)
+        clear_cache()
+        again = run_many([spec], jobs=1)[0]  # stale entry deleted, recomputed
+        assert again == first
+        with open(path) as fh:
+            assert json.load(fh)["version"] == runner.CACHE_VERSION
+
+    def test_clear_disk_cache_reports_stale_entries(self):
+        spec = SimSpec.make("gzip", MACHINE_SAMIE, **SMALL)
+        run_many([spec], jobs=1)
+        path = runner._disk_path(spec.key)
+        with open(path) as fh:
+            doc = json.load(fh)
+        doc["version"] = runner.CACHE_VERSION - 1
+        with open(path, "w") as fh:
+            json.dump(doc, fh)
+        # a second, current-version entry alongside the stale one
+        run_many([SimSpec.make("swim", MACHINE_SAMIE, **SMALL)], jobs=1)
+        cleared = runner.clear_disk_cache()
+        assert cleared.removed == 2
+        assert cleared.stale == 1
 
 
 class TestMemConfigKeys:

@@ -373,6 +373,20 @@ class TestSamplePlan:
         with pytest.raises(ValueError, match="nothing to skip"):
             SamplePlan.from_ratio(0.5)
 
+    def test_exact_fill_boundary_is_consistent(self):
+        # warmup + measure == period is legal on BOTH construction paths
+        # (the constructor always accepted it; from_ratio used to raise)
+        plan = SamplePlan(100, 60, 40)
+        assert plan.simulated_per_period == plan.period
+        via_ratio = SamplePlan.from_ratio(0.25, period=100, warmup_frac=3.0)
+        assert via_ratio == SamplePlan(100, 75, 25)
+        assert via_ratio.simulated_per_period == via_ratio.period
+        # one past the boundary still raises on both paths
+        with pytest.raises(ValueError):
+            SamplePlan(100, 61, 40)
+        with pytest.raises(ValueError, match="nothing to skip"):
+            SamplePlan.from_ratio(0.26, period=100, warmup_frac=3.0)
+
     def test_stream_renumbers_and_skips(self):
         src = [UOp(i, 4 * i, OpClass.INT_ALU) for i in range(100)]
         skipped: list[int] = []
