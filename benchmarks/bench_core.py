@@ -3,8 +3,15 @@
 
 Measures detailed-model simulation speed (committed uops per wall-clock
 second) for each LSQ kind across a set of workloads at test scale, plus a
-cycle-loop stage breakdown, and emits a machine-readable ``BENCH_core.json``
-so every PR lands on a recorded perf baseline.
+cycle-loop stage breakdown and a sampled-replay section (one cell per
+warm engine over a recorded trace at a SMARTS-regime plan), and emits a
+machine-readable ``BENCH_core.json`` so every PR lands on a recorded
+perf baseline.
+
+To refresh the committed baseline after an intentional perf change::
+
+    PYTHONPATH=src python benchmarks/bench_core.py -o BENCH_core.json \
+        --repeat 5 --breakdown
 
 Usage::
 
@@ -113,6 +120,76 @@ def _stage_breakdown(spec, workload: str, n: int, warmup: int, seed: int = 1):
     return {k: round(v / total, 4) for k, v in acc.items()} if total else acc
 
 
+#: sampled-replay throughput cells: SMARTS-regime plan on a recorded
+#: trace, one cell per warm engine.  The period is deliberately long
+#: (1.5% simulated in detail) -- that is the regime sampling exists for,
+#: and the regime where the warm engine dominates wall time; at dense
+#: plans the detailed windows dominate and the engines converge.
+SAMPLED_PLAN = (100_000, 1_000, 500)
+SAMPLED_TRACE_UOPS = 400_000
+
+
+def _sampled_section(repeat: int) -> list[dict]:
+    """Sampled-replay cells (lsq="samie", workload="sampled-<engine>").
+
+    Throughput is *source uops consumed per second* -- skipped uops are
+    real work for the warm engine, so this is the end-to-end number a
+    sampled sweep experiences.  Cells share the detailed grid's schema,
+    so ``check_against`` gates them like any other cell.
+    """
+    import os
+    import tempfile
+
+    from repro.trace.sampling import SamplePlan, run_sampled
+    from repro.trace.workload import record_trace, spec_name
+
+    spec = lsq_spec("samie")
+    plan = SamplePlan(*SAMPLED_PLAN)
+    engines = ["scalar"]
+    try:
+        import numpy  # noqa: F401
+
+        engines.append("vector")
+    except ImportError:  # pragma: no cover - numpy is a test-tier dep
+        print("numpy unavailable: skipping the sampled-vector cell")
+    results = []
+    with tempfile.TemporaryDirectory() as td:
+        path = os.path.join(td, "swim.uoptrace")
+        record_trace(path, "swim", SAMPLED_TRACE_UOPS)
+        name = spec_name(path)
+        for eng in engines:
+            best = None
+            sim = None
+            for _ in range(repeat):
+                pipe = build_processor(build_lsq(spec))
+                t0 = time.perf_counter()
+                sim = run_sampled(pipe, make_trace(name), plan,
+                                  warm_engine=eng)
+                secs = time.perf_counter() - t0
+                best = secs if best is None else min(best, secs)
+            consumed = sim.extra["sampling"]["source_uops_consumed"]
+            cell = {
+                "lsq": spec[0],
+                "workload": f"sampled-{eng}",
+                "seconds": round(best, 6),
+                "instructions": sim.instructions,
+                "cycles": sim.cycles,
+                "ipc": round(sim.ipc, 6),
+                "uops_per_sec": round(consumed / best, 1),
+                "cycles_per_sec": round(sim.cycles / best, 1),
+            }
+            results.append(cell)
+            print(
+                f"{spec[0]:14s} {cell['workload']:14s} "
+                f"{cell['uops_per_sec']:>10.0f} uops/s  ipc={sim.ipc:.3f}",
+                flush=True,
+            )
+    if len(results) == 2:
+        ratio = results[1]["uops_per_sec"] / results[0]["uops_per_sec"]
+        print(f"sampled vector/scalar speedup: {ratio:.2f}x")
+    return results
+
+
 def measure(workloads, n: int, warmup: int, repeat: int, breakdown: bool):
     """Measure the full grid; returns the BENCH_core document."""
     results = []
@@ -141,6 +218,7 @@ def measure(workloads, n: int, warmup: int, repeat: int, breakdown: bool):
                 f" {cell['cycles_per_sec']:>10.0f} cyc/s  ipc={sim.ipc:.3f}",
                 flush=True,
             )
+    results.extend(_sampled_section(repeat))
     score = host_score()
     doc = {
         "meta": {
@@ -149,6 +227,8 @@ def measure(workloads, n: int, warmup: int, repeat: int, breakdown: bool):
             "instructions": n,
             "warmup": warmup,
             "repeat": repeat,
+            "sampled_plan": list(SAMPLED_PLAN),
+            "sampled_trace_uops": SAMPLED_TRACE_UOPS,
             "host_score": round(score, 1),
         },
         "results": results,

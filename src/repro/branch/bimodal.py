@@ -40,3 +40,7 @@ class BimodalPredictor:
     def counter(self, pc: int) -> int:
         """Raw 2-bit counter value (for tests/inspection)."""
         return self._table[self._index(pc)]
+
+    def state_dump(self) -> dict:
+        """Canonical snapshot for the warm-engine equivalence tier."""
+        return {"table": bytes(self._table)}

@@ -58,3 +58,8 @@ class BTB:
         ways.insert(0, (tag, target))
         if len(ways) > self._assoc:
             ways.pop()
+
+    def state_dump(self) -> dict:
+        """Canonical snapshot (per-set MRU-ordered ``(tag, target)``
+        lists) for the warm-engine equivalence tier."""
+        return {"sets": [list(ways) for ways in self._sets]}

@@ -50,3 +50,7 @@ class GsharePredictor:
     def counter(self, pc: int) -> int:
         """Raw 2-bit counter currently indexed for ``pc`` (tests only)."""
         return self._table[self._index(pc)]
+
+    def state_dump(self) -> dict:
+        """Canonical snapshot for the warm-engine equivalence tier."""
+        return {"table": bytes(self._table), "history": self._history}

@@ -75,6 +75,16 @@ class HybridPredictor:
         if predicted is not None and predicted != taken:
             self.mispredicts.add()
 
+    def state_dump(self) -> dict:
+        """Canonical snapshot (selector + both components) for the
+        warm-engine equivalence tier; statistics counters are excluded
+        (they are windowed state, covered by ``SimResult`` compares)."""
+        return {
+            "selector": bytes(self._selector),
+            "gshare": self.gshare.state_dump(),
+            "bimodal": self.bimodal.state_dump(),
+        }
+
     @property
     def mispredict_rate(self) -> float:
         """Fraction of resolved branches whose direction was mispredicted."""

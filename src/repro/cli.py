@@ -342,7 +342,8 @@ def _cmd_trace_replay(args: argparse.Namespace) -> int:
             return 2
         sample = plan.key()
     specs = [SimSpec.make(name, machine, n, args.warmup if sample is None else 0,
-                          args.seed, sample=sample, mem=mem)]
+                          args.seed, sample=sample, mem=mem,
+                          warm_engine=args.warm_engine)]
     if sample is not None and args.check_full:
         specs.append(SimSpec.make(name, machine, n, args.warmup, args.seed, mem=mem))
     try:
@@ -521,6 +522,11 @@ def main(argv: list[str] | None = None) -> int:
                        help="sampling interval length in instructions "
                             "(long periods keep splice boundaries rare "
                             "relative to MSHR stall backlogs)")
+    rep_p.add_argument("--warm-engine", default="vector",
+                       choices=["scalar", "vector"],
+                       help="functional-warming backend for sampled replay "
+                            "(bit-identical by contract; scalar is the "
+                            "reference model, vector the fast default)")
     rep_p.add_argument("--check-full", action="store_true",
                        help="also run the full replay and report the "
                             "sampled-vs-full IPC error")

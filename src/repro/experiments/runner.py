@@ -56,8 +56,10 @@ from repro.workloads.spec2000 import SPEC2000_PROFILES
 #: bump when SimResult/semantics change so stale disk entries are ignored
 #: (2: key gained sampling-plan and trace-digest fields; 3: non-blocking
 #: memory hierarchy with MSHR merging changed default timings, the key
-#: gained a MemConfig-override field, and sampled runs warm functionally)
-CACHE_VERSION = 3
+#: gained a MemConfig-override field, and sampled runs warm functionally;
+#: 4: sampled-run semantics changed -- warm traffic left the measured
+#: hit/miss statistics and producer distances clamp at window starts)
+CACHE_VERSION = 4
 
 
 def current_scale() -> tuple[int, int]:
@@ -353,7 +355,11 @@ class SimSpec:
     an optional :func:`mem_spec` override set applied on top of the
     config's :class:`~repro.mem.hierarchy.MemConfig`, so one grid can
     cross cache geometry (l1d sets/ways, MSHR entries/targets, TLB size)
-    with LSQ geometry.
+    with LSQ geometry.  ``warm_engine`` picks the functional-warming
+    backend for sampled runs; it is deliberately **not** part of the
+    cache key because the engines are bit-identical by contract (the
+    equivalence tier enforces it), so either engine may serve a cached
+    result computed by the other.
     """
 
     workload: str
@@ -365,6 +371,7 @@ class SimSpec:
     cfg: ProcessorConfig | None = None
     sample: tuple[int, int, int] | None = None
     mem: MemSpec | None = None
+    warm_engine: str = "vector"
 
     @classmethod
     def make(
@@ -377,6 +384,7 @@ class SimSpec:
         cfg: ProcessorConfig | None = None,
         sample: tuple[int, int, int] | None = None,
         mem: MemSpec | dict | None = None,
+        warm_engine: str = "vector",
     ) -> "SimSpec":
         """Build a spec for ``machine`` at the given (or environment) scale."""
         env_n, env_w = current_scale()
@@ -393,6 +401,7 @@ class SimSpec:
             mem=mem_spec(**mem) if isinstance(mem, dict) else (
                 mem_spec(**dict(mem)) if mem else None
             ),
+            warm_engine=warm_engine,
         )
 
     @property
@@ -549,7 +558,8 @@ def run_spec(spec: SimSpec) -> SimResult:
         from repro.trace.sampling import SamplePlan, run_sampled
 
         return run_sampled(
-            pipe, trace, SamplePlan(*spec.sample), max_measured=spec.instructions
+            pipe, trace, SamplePlan(*spec.sample),
+            max_measured=spec.instructions, warm_engine=spec.warm_engine,
         )
     pipe.attach_trace(trace)
     return pipe.run(spec.instructions, warmup=spec.warmup)

@@ -152,6 +152,52 @@ class Cache:
         victim.lru = self._clock
         return AccessResult(False, set_idx, victim_way, evicted_line, evicted_dirty)
 
+    def warm_access(self, line_addr: int, write: bool = False) -> bool:
+        """Functional-warming access: placement/LRU/eviction side effects
+        with **no statistics** -- sampling's skip gaps must not contaminate
+        the measured hit/miss rates (they are separate traffic, accounted
+        by the warm engine under ``extra["sampling"]["warm"]``).  The
+        eviction callback still fires: presentBit invalidation is
+        architectural state, not a statistic.  Returns the hit outcome.
+        """
+        self._clock += 1
+        set_idx = self.set_of(line_addr)
+        s = self._sets[set_idx]
+        tag = self.tag_of(line_addr)
+        for line in s:
+            if line.valid and line.tag == tag:
+                line.lru = self._clock
+                if write:
+                    line.dirty = True
+                return True
+        victim = s[0]
+        for line in s:
+            if not line.valid:
+                victim = line
+                break
+            if line.lru < victim.lru:
+                victim = line
+        if victim.valid and self.on_evict is not None:
+            self.on_evict(set_idx, (victim.tag << self.set_bits) | set_idx)
+        victim.tag = tag
+        victim.valid = True
+        victim.dirty = write
+        victim.present_bit = False
+        victim.lru = self._clock
+        return False
+
+    def state_dump(self) -> dict:
+        """Canonical snapshot of all placement state (tags, flags, LRU
+        clocks) for the warm-engine equivalence tier: two caches behaved
+        bit-identically iff their dumps are equal."""
+        return {
+            "clock": self._clock,
+            "sets": [
+                [(ln.tag, ln.valid, ln.dirty, ln.present_bit, ln.lru) for ln in s]
+                for s in self._sets
+            ],
+        }
+
     # -- presentBit support (SAMIE extension) ------------------------------
     def set_present_bit(self, set_idx: int, way: int, value: bool = True) -> None:
         """Set/clear the presentBit of a resident line."""

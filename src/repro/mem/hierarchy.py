@@ -275,26 +275,29 @@ class MemoryHierarchy:
 
     # ------------------------------------------------------------------
     # functional-warming paths (trace sampling): touch long-lived state
-    # -- L1 caches, TLBs, LRU -- without ports, MSHRs or timing, so
-    # skipped uops cannot leak in-flight miss state into the detailed
-    # windows.  The L2 is deliberately NOT warmed: its content under
-    # capacity pressure is extremely sensitive to the exact L1+MSHR
-    # -filtered access stream, which a program-order functional replay
-    # cannot reproduce -- empirically, warming it flips 100-cycle L2
-    # misses into 10-cycle hits wholesale and biases sampled windows
-    # fast, while leaving it to the per-window detailed warmup stays
-    # within the sampling error budget (see tests/test_sampling_accuracy
-    # .py and ROADMAP.md "Trace subsystem").
+    # -- L1 caches, TLBs, LRU -- without ports, MSHRs, timing or
+    # statistics, so skipped uops can neither leak in-flight miss state
+    # into the detailed windows nor contaminate the measured hit/miss
+    # rates (warm-traffic totals are accounted by the warm engine under
+    # ``extra["sampling"]["warm"]`` instead).  The L2 is deliberately
+    # NOT warmed: its content under capacity pressure is extremely
+    # sensitive to the exact L1+MSHR-filtered access stream, which a
+    # program-order functional replay cannot reproduce -- empirically,
+    # warming it flips 100-cycle L2 misses into 10-cycle hits wholesale
+    # and biases sampled windows fast, while leaving it to the
+    # per-window detailed warmup stays within the sampling error budget
+    # (see tests/test_sampling_accuracy.py and ROADMAP.md "Trace
+    # subsystem").
     # ------------------------------------------------------------------
     def warm_daccess(self, addr: int, write: bool) -> None:
-        """Stat-visible data-side touch with no MSHR/port/timing effects."""
-        self.dtlb.access(addr)
-        self.l1d.access(addr >> self.l1d.line_shift, write)
+        """Stat-free data-side touch with no MSHR/port/timing effects."""
+        self.dtlb.warm_access(addr)
+        self.l1d.warm_access(addr >> self.l1d.line_shift, write)
 
     def warm_iaccess(self, pc: int) -> None:
-        """Stat-visible fetch-side touch with no MSHR/timing effects."""
-        self.itlb.access(pc)
-        self.l1i.access(pc >> self.l1i.line_shift, write=False)
+        """Stat-free fetch-side touch with no MSHR/timing effects."""
+        self.itlb.warm_access(pc)
+        self.l1i.warm_access(pc >> self.l1i.line_shift, write=False)
 
     # ------------------------------------------------------------------
     def mshr_stats(self) -> dict[str, int]:

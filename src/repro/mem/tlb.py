@@ -46,6 +46,26 @@ class TLB:
         self._map[page] = self._clock
         return False
 
+    def warm_access(self, addr: int) -> bool:
+        """Functional-warming translation: identical replacement behaviour
+        to :meth:`access` but with no hit/miss statistics (skip-gap
+        traffic must not contaminate measured rates)."""
+        self._clock += 1
+        page = addr >> self.page_shift
+        if page in self._map:
+            self._map[page] = self._clock
+            return True
+        if len(self._map) >= self.entries:
+            victim = min(self._map, key=self._map.__getitem__)
+            del self._map[victim]
+        self._map[page] = self._clock
+        return False
+
+    def state_dump(self) -> dict:
+        """Canonical snapshot (vpn -> last-use clock) for the warm-engine
+        equivalence tier."""
+        return {"clock": self._clock, "map": dict(self._map)}
+
     def latency(self, hit: bool) -> int:
         """Access latency in cycles for a hit/miss outcome."""
         return 1 if hit else 1 + self.miss_latency

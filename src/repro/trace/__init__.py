@@ -13,7 +13,10 @@ Three pillars (see ROADMAP.md "Trace subsystem"):
   loads/stores/branches/ALU ops into the uop stream.  A small fixture
   log is bundled under ``repro/trace/fixtures/``.
 * :mod:`repro.trace.sampling` -- SMARTS-style systematic interval
-  sampling (per-window warm-up + measurement) over any trace source.
+  sampling (per-window warm-up + measurement) over any trace source,
+  with functional warming of skip gaps under interchangeable engines:
+  the scalar per-uop reference or the vectorized batch backend
+  (:mod:`repro.trace.fastwarm`), bit-identical by contract.
 
 :mod:`repro.trace.workload` adapts a trace file into the workload
 registry (``trace:<path>`` spec names), so the pipeline, the sweep
@@ -27,6 +30,7 @@ from repro.trace.format import (
     TraceError,
     TraceInfo,
     TraceReader,
+    TraceStream,
     TraceWriter,
     read_info,
     trace_token,
@@ -35,8 +39,10 @@ from repro.trace.format import (
 from repro.trace.sampling import (
     SampledStream,
     SamplePlan,
+    ScalarWarmEngine,
     attach_error,
     functional_warmer,
+    make_warm_engine,
     run_sampled,
 )
 from repro.trace.spike import SpikeStats, ingest_spike_log, parse_spike_log
@@ -53,14 +59,17 @@ __all__ = [
     "TraceCorruptError",
     "TraceInfo",
     "TraceReader",
+    "TraceStream",
     "TraceWriter",
     "read_info",
     "trace_token",
     "write_trace",
     "SamplePlan",
     "SampledStream",
+    "ScalarWarmEngine",
     "attach_error",
     "functional_warmer",
+    "make_warm_engine",
     "run_sampled",
     "SpikeStats",
     "parse_spike_log",

@@ -376,6 +376,139 @@ class TraceReader:
             self.count_read = seq
 
 
+_RECORD_DTYPE = None
+
+
+def record_dtype():
+    """Numpy structured dtype mirroring one 32-byte ``_RECORD`` struct.
+
+    Field order/widths match ``'<QQQHHHBB'`` exactly, so a frame's raw
+    bytes reinterpret as a record array with ``np.frombuffer`` -- the
+    zero-copy decode under :meth:`TraceStream.take_batch`.  Lazy so the
+    format module itself keeps working without numpy installed.
+    """
+    global _RECORD_DTYPE
+    if _RECORD_DTYPE is None:
+        import numpy as np
+
+        _RECORD_DTYPE = np.dtype(
+            [
+                ("pc", "<u8"), ("addr", "<u8"), ("target", "<u8"),
+                ("size", "<u2"), ("src1", "<u2"), ("src2", "<u2"),
+                ("op", "u1"), ("flags", "u1"),
+            ]
+        )
+        assert _RECORD_DTYPE.itemsize == RECORD_BYTES
+    return _RECORD_DTYPE
+
+
+class TraceStream:
+    """Coherent scalar + batched reader over one trace file.
+
+    Iterating yields :class:`~repro.isa.uop.UOp`\\ s exactly like
+    :class:`TraceReader`; :meth:`take_batch` additionally drains up to
+    ``n`` records *from the same cursor* as a numpy record array
+    (:func:`record_dtype` layout, zero-copy views of the frame bytes)
+    without constructing UOp objects -- the sampled-replay skip path.
+    The two access styles may be freely interleaved; footer integrity
+    checks are inherited from the underlying reader.
+    """
+
+    def __init__(self, path: str, strict: bool = True):
+        self._reader = TraceReader(path, strict)
+        self._raw = b""
+        self._n = 0          # records in the current frame
+        self._idx = 0        # records consumed from the current frame
+        self._scalar = None  # iter_unpack cursor aligned with _idx
+        self._seq = 0
+
+    @property
+    def meta(self) -> dict:
+        return self._reader.meta
+
+    @property
+    def complete(self) -> bool:
+        return self._reader.complete
+
+    def close(self) -> None:
+        self._reader.close()
+
+    def __enter__(self) -> "TraceStream":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _load_frame(self) -> bool:
+        if self._reader.complete:
+            # the footer has been consumed; another _next_frame() would
+            # misread EOF as truncation
+            return False
+        raw = self._reader._next_frame()
+        if raw is None:
+            return False
+        self._raw = raw
+        self._n = len(raw) // RECORD_BYTES
+        self._reader.count_read += self._n
+        self._idx = 0
+        self._scalar = None
+        return True
+
+    def __iter__(self) -> Iterator[UOp]:
+        return self
+
+    def __next__(self) -> UOp:
+        if self._idx >= self._n:
+            if not self._load_frame():
+                self.close()
+                raise StopIteration
+        if self._scalar is None:
+            self._scalar = _RECORD.iter_unpack(
+                memoryview(self._raw)[self._idx * RECORD_BYTES:]
+            )
+        pc, addr, target, size, src1, src2, op, flags = next(self._scalar)
+        seq = self._seq
+        self._seq = seq + 1
+        self._idx += 1
+        return UOp(seq, pc, _OP_BY_INDEX[op], src1=src1, src2=src2,
+                   addr=addr, size=size, taken=flags == 1, target=target)
+
+    def take_batch(self, max_records: int):
+        """Drain up to ``max_records`` records as a numpy record array.
+
+        Returns fewer (possibly zero) records only at end of trace.  The
+        sequence cursor advances as if the records had been iterated, so
+        scalar iteration resumes seamlessly afterwards.
+        """
+        import numpy as np
+
+        dtype = record_dtype()
+        chunks = []
+        got = 0
+        while got < max_records:
+            if self._idx >= self._n:
+                if not self._load_frame():
+                    break
+            take = min(max_records - got, self._n - self._idx)
+            chunks.append(
+                np.frombuffer(self._raw, dtype=dtype, count=take,
+                              offset=self._idx * RECORD_BYTES)
+            )
+            self._idx += take
+            self._scalar = None
+            self._seq += take
+            got += take
+        if not chunks:
+            return np.empty(0, dtype=dtype)
+        return chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+
+
 def write_trace(path: str, uops: Iterable[UOp], meta: dict | None = None) -> TraceInfo:
     """Write a whole iterable of uops to ``path`` (convenience)."""
     with TraceWriter(path, meta=meta) as w:

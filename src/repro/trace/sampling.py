@@ -23,19 +23,45 @@ Known caveats (documented in ROADMAP.md):
   stream, which program-order replay cannot reproduce -- warming it
   turns window L2 misses into hits wholesale and biases fast.  Pass
   ``functional_warming=False`` to reproduce the historical detailed
-  -warmup-only behaviour.  Warming uses the hierarchy's stat-visible
-  ``warm_*`` paths, which bypass MSHRs and ports so skipped uops
-  cannot leak in-flight miss state into a measured window.
+  -warmup-only behaviour.  Warming uses the hierarchy's stat-free
+  ``warm_*`` paths, which bypass MSHRs, ports and the hit/miss
+  counters, so skipped uops can neither leak in-flight miss state into
+  a measured window nor contaminate the measured miss rates (warm
+  totals are reported under ``extra["sampling"]["warm"]`` instead).
 * measure windows should be long relative to the worst stall (>= ~500
   instructions): a window absorbs stall tails in flight at its start
   but is cut at its final commit, a ~stall/window-length asymmetry that
   biases short windows slow.
-* producer distances crossing a splice boundary re-attach to the
-  previous window's tail; the bias is bounded by the max dependence
-  distance (48 in the synthetic ISA) per window.
+* producer distances crossing a splice boundary are *clamped* at window
+  starts (a distance cannot reach across a skip gap, so the stream
+  clamps it to the uop's within-window position; position 0 means "no
+  dependence").  The residual bias is the dependences genuinely cut at
+  the boundary, bounded by the max dependence distance (48 in the
+  synthetic ISA) per window and pinned by
+  ``tests/test_trace.py::TestSampledReplay::test_splice_boundary_bias_bounded``.
 * results are deterministic but *not* bit-identical to full replay --
   sampling error is the product being measured.  Use
   :func:`attach_error` to quantify it against a full run.
+
+Warm engines
+------------
+
+Functional warming runs under one of two interchangeable engines:
+
+* ``"scalar"`` -- :class:`ScalarWarmEngine`, one Python call per skipped
+  uop.  Dumb, obviously correct, retained as the reference model (same
+  pattern as ``repro.lsq.reference``).
+* ``"vector"`` (default) -- :class:`repro.trace.fastwarm.VectorWarmEngine`,
+  which drains each skip gap as one columnar numpy batch (zero-copy from
+  ``.uoptrace`` frames via ``TraceStream.take_batch``) and replays every
+  structure with exact-equivalence kernels.
+
+The engines are **bit-identical** by contract -- post-warm cache/TLB/
+predictor/BTB state and merged results match exactly (enforced by
+``tests/test_fastwarm_equivalence.py`` and the CI ``trace-smoke`` job),
+which is why the engine choice is *not* part of the result cache key.
+Select per run with ``run_sampled(..., warm_engine=...)`` or
+``repro trace replay --warm-engine``.
 """
 
 from __future__ import annotations
@@ -116,15 +142,31 @@ class SampledStream:
     """Re-sequenced view of a trace keeping only sampled windows.
 
     Skipped uops are consumed from the source but not yielded; yielded
-    uops are renumbered densely (the pipeline's generator contract).
-    ``on_skip`` (when set) sees every skipped uop -- the functional
-    -warming hook.  ``consumed``/``yielded`` expose coverage.
+    uops are renumbered densely (the pipeline's generator contract) and
+    their producer distances are clamped to the within-window position,
+    so a dependence can never re-attach across a skip gap.
+    ``consumed``/``yielded`` expose coverage.
+
+    The skip path warms through ``engine``: an engine with a
+    ``warm_batch`` method drains whole gaps as columnar batches (pulled
+    zero-copy via the source's ``take_batch`` when it has one, else
+    materialised from the iterator); an engine with only ``warm`` -- or
+    a bare ``on_skip`` callable, the historical hook -- sees skipped
+    uops one at a time.
     """
 
-    def __init__(self, source: Iterable[UOp], plan: SamplePlan, on_skip=None):
+    def __init__(self, source: Iterable[UOp], plan: SamplePlan, on_skip=None,
+                 engine=None):
         self._it = iter(source)
         self._plan = plan
-        self._on_skip = on_skip
+        self._engine = engine
+        self._warm_batch = getattr(engine, "warm_batch", None)
+        if self._warm_batch is not None:
+            self._take_batch = getattr(source, "take_batch", None)
+            self._on_skip = None
+        else:
+            self._take_batch = None
+            self._on_skip = engine.warm if engine is not None else on_skip
         self.consumed = 0
         self.yielded = 0
 
@@ -135,12 +177,17 @@ class SampledStream:
         keep = self._plan.simulated_per_period
         period = self._plan.period
         while True:
-            u = next(self._it)
             pos = self.consumed % period
+            if pos >= keep and self._warm_batch is not None:
+                if self._skip_batch(period - pos) == 0:
+                    raise StopIteration
+                continue
+            u = next(self._it)
             self.consumed += 1
             if pos < keep:
                 v = UOp(
-                    self.yielded, u.pc, u.op, src1=u.src1, src2=u.src2,
+                    self.yielded, u.pc, u.op,
+                    src1=min(u.src1, pos), src2=min(u.src2, pos),
                     addr=u.addr, size=u.size, taken=u.taken, target=u.target,
                 )
                 self.yielded += 1
@@ -148,40 +195,108 @@ class SampledStream:
             if self._on_skip is not None:
                 self._on_skip(u)
 
+    def _skip_batch(self, want: int) -> int:
+        """Drain up to ``want`` skipped uops through the batch engine."""
+        if self._take_batch is not None:
+            rec = self._take_batch(want)
+        else:
+            rec = self._pull_batch(want)
+        n = len(rec)
+        if n:
+            self.consumed += n
+            self._warm_batch(rec)
+        return n
 
-def functional_warmer(pipe: Pipeline):
-    """Per-uop hook keeping long-lived state warm across skip gaps.
+    def _pull_batch(self, want: int):
+        """Columnar batch for sources without ``take_batch`` support."""
+        from repro.trace.fastwarm import uops_to_batch
+
+        buf = []
+        append = buf.append
+        it = self._it
+        try:
+            for _ in range(want):
+                append(next(it))
+        except StopIteration:
+            pass
+        return uops_to_batch(buf)
+
+
+class ScalarWarmEngine:
+    """Reference functional warmer: one Python call per skipped uop.
 
     Touches the L1 D-cache/DTLB for memory ops, trains the branch
     predictor and BTB on branch outcomes, and streams instruction lines
     through the L1 I-cache (one access per line change, like the fetch
-    stage).  No timing, ports, MSHRs, L2 or energy -- that is the whole
-    point; the hierarchy's ``warm_*`` paths keep in-flight miss state
-    (and the filter-sensitive L2) out of the picture.  Warming accesses
-    *do* count in the hit/miss-rate statistics (they are real program
-    traffic, and the cache models have no stat-free access path), so
-    measured rates blend warmed and detailed traffic.
+    stage).  No timing, ports, MSHRs, L2, energy or statistics -- the
+    hierarchy's stat-free ``warm_*`` paths keep in-flight miss state
+    (and the filter-sensitive L2) out of the picture and the measured
+    hit/miss rates clean; warm-traffic totals accumulate here and are
+    reported under ``extra["sampling"]["warm"]``.
+
+    Retained as the reference model for the vectorized engine
+    (:class:`repro.trace.fastwarm.VectorWarmEngine`), same pattern as
+    ``repro.lsq.reference``: dumb, obviously correct, and the
+    equivalence tier's ground truth.
     """
-    mem = pipe.mem
-    predictor = pipe.predictor
-    btb = pipe.btb
-    iline_shift = mem.l1i.line_shift
-    last_iline = [-1]
 
-    def warm(u: UOp) -> None:
-        iline = u.pc >> iline_shift
-        if iline != last_iline[0]:
-            last_iline[0] = iline
-            mem.warm_iaccess(u.pc)
+    name = "scalar"
+
+    def __init__(self, pipe: Pipeline):
+        self._mem = pipe.mem
+        self._predictor = pipe.predictor
+        self._btb = pipe.btb
+        self._iline_shift = pipe.mem.l1i.line_shift
+        self._last_iline = -1
+        self.warmed = {"uops": 0, "iside": 0, "dside": 0, "branches": 0}
+
+    def totals(self) -> dict:
+        """Warm-traffic totals (``extra["sampling"]["warm"]``)."""
+        return dict(self.warmed)
+
+    def warm(self, u: UOp) -> None:
+        """Feed one skipped uop through every long-lived structure."""
+        w = self.warmed
+        w["uops"] += 1
+        iline = u.pc >> self._iline_shift
+        if iline != self._last_iline:
+            self._last_iline = iline
+            w["iside"] += 1
+            self._mem.warm_iaccess(u.pc)
         if u.is_mem:
-            mem.warm_daccess(u.addr, write=u.is_store)
+            w["dside"] += 1
+            self._mem.warm_daccess(u.addr, write=u.is_store)
         elif u.is_branch:
-            predictor.update(u.pc, u.taken, predicted=None)
+            w["branches"] += 1
+            self._predictor.update(u.pc, u.taken, predicted=None)
             if u.taken:
-                btb.update(u.pc, u.target)
-                last_iline[0] = -1
+                self._btb.update(u.pc, u.target)
+                self._last_iline = -1
 
-    return warm
+
+def functional_warmer(pipe: Pipeline):
+    """Back-compat shim: the per-uop hook of a fresh scalar engine."""
+    return ScalarWarmEngine(pipe).warm
+
+
+def make_warm_engine(pipe: Pipeline, warm_engine: str = "vector"):
+    """Construct the named warm engine (``"scalar"`` or ``"vector"``).
+
+    The vector engine needs numpy; if it is unavailable the scalar
+    reference is substituted -- safe because the engines are
+    bit-identical by contract.
+    """
+    if warm_engine == "scalar":
+        return ScalarWarmEngine(pipe)
+    if warm_engine == "vector":
+        try:
+            from repro.trace.fastwarm import VectorWarmEngine
+        except ImportError:  # no numpy: the scalar reference is identical
+            return ScalarWarmEngine(pipe)
+        return VectorWarmEngine(pipe)
+    raise ValueError(
+        f"unknown warm engine {warm_engine!r}; use 'scalar' or 'vector'"
+    )
 
 
 def _merge_counts(into: dict, add: dict) -> None:
@@ -190,7 +305,7 @@ def _merge_counts(into: dict, add: dict) -> None:
 
 
 def _merge(windows: list[SimResult], plan: SamplePlan, stream: SampledStream,
-           simulated: int) -> SimResult:
+           simulated: int, engine=None) -> SimResult:
     instructions = sum(r.instructions for r in windows)
     cycles = sum(r.cycles for r in windows)
 
@@ -215,6 +330,21 @@ def _merge(windows: list[SimResult], plan: SamplePlan, stream: SampledStream,
         _merge_counts(area, r.area_um2_cycles)
         _merge_counts(lsq_stats, r.lsq_stats)
         _merge_counts(mshr, (r.extra or {}).get("mshr", {}))
+    sampling: dict = {
+        "period": plan.period,
+        "warmup": plan.warmup,
+        "measure": plan.measure,
+        "ratio": plan.ratio,
+        "windows": len(windows),
+        "measured_instructions": instructions,
+        "simulated_instructions": simulated,
+        "source_uops_consumed": stream.consumed,
+    }
+    if engine is not None:
+        # warm-traffic totals are kept out of the cache/TLB statistics
+        # (detailed rates must reflect detailed accesses only) and are
+        # identical across engines, so they are safe in the result
+        sampling["warm"] = engine.totals()
     return SimResult(
         instructions=instructions,
         cycles=cycles,
@@ -231,19 +361,7 @@ def _merge(windows: list[SimResult], plan: SamplePlan, stream: SampledStream,
         shared_occupancy_p99=max((r.shared_occupancy_p99 for r in windows), default=0),
         addr_buffer_busy_frac=cw(lambda r: r.addr_buffer_busy_frac),
         data_violations=sum(r.data_violations for r in windows),
-        extra={
-            "mshr": mshr,
-            "sampling": {
-                "period": plan.period,
-                "warmup": plan.warmup,
-                "measure": plan.measure,
-                "ratio": plan.ratio,
-                "windows": len(windows),
-                "measured_instructions": instructions,
-                "simulated_instructions": simulated,
-                "source_uops_consumed": stream.consumed,
-            }
-        },
+        extra={"mshr": mshr, "sampling": sampling},
     )
 
 
@@ -253,23 +371,27 @@ def run_sampled(
     plan: SamplePlan,
     max_measured: int | None = None,
     functional_warming: bool = True,
+    warm_engine: str = "vector",
 ) -> SimResult:
     """Drive ``pipe`` over the sampled windows of ``trace``.
 
     Each window runs as warm-up (statistics discarded, architectural
     state kept hot) followed by a measured burst; window results are
     aggregated into one :class:`SimResult` whose ``extra["sampling"]``
-    records the plan, window count and coverage.  ``functional_warming``
-    (default on since the detailed model gained MSHR miss-merging; see
-    the module docstring) additionally feeds skipped uops through the
-    caches/TLB/predictor.  Stops when the trace is exhausted or
-    ``max_measured`` instructions have been measured.
+    records the plan, window count, coverage and warm-traffic totals.
+    ``functional_warming`` (default on since the detailed model gained
+    MSHR miss-merging; see the module docstring) additionally feeds
+    skipped uops through the caches/TLB/predictor, under the
+    ``warm_engine`` of choice (``"vector"``/``"scalar"``; bit-identical
+    by contract, see the module docstring).  Stops when the trace is
+    exhausted or ``max_measured`` instructions have been measured.
     """
-    on_skip = functional_warmer(pipe) if functional_warming else None
-    stream = SampledStream(trace, plan, on_skip=on_skip)
+    engine = make_warm_engine(pipe, warm_engine) if functional_warming else None
+    stream = SampledStream(trace, plan, engine=engine)
     pipe.attach_trace(stream)
     windows: list[SimResult] = []
     measured = 0
+    entry_committed = pipe.committed
     while max_measured is None or measured < max_measured:
         want = plan.measure
         if max_measured is not None:
@@ -293,7 +415,10 @@ def run_sampled(
             f"{plan.measure} needs more than {plan.warmup} simulated per "
             "window; use a longer trace or a smaller plan"
         )
-    return _merge(windows, plan, stream, simulated=pipe.committed)
+    # delta from entry: the same pipe may have committed instructions
+    # before run_sampled was called, and those are not ours to report
+    return _merge(windows, plan, stream,
+                  simulated=pipe.committed - entry_committed, engine=engine)
 
 
 def attach_error(sampled: SimResult, full: SimResult) -> float:
@@ -301,9 +426,17 @@ def attach_error(sampled: SimResult, full: SimResult) -> float:
 
     Returns the relative error ``|sampled.ipc - full.ipc| / full.ipc``
     and stores it (with the full-replay IPC) under
-    ``extra["sampling"]``.
+    ``extra["sampling"]``.  A degenerate full run (zero IPC) admits no
+    relative error and raises ``ValueError`` -- silently reporting a
+    perfect sample against it would mask the degenerate baseline.
     """
-    err = abs(sampled.ipc - full.ipc) / full.ipc if full.ipc else 0.0
+    if not full.ipc:
+        raise ValueError(
+            "full-replay IPC is zero (degenerate baseline: "
+            f"{full.instructions} instructions in {full.cycles} cycles); "
+            "sampling error against it is undefined"
+        )
+    err = abs(sampled.ipc - full.ipc) / full.ipc
     sampled.extra.setdefault("sampling", {}).update(
         {"full_ipc": full.ipc, "ipc_error_vs_full": err}
     )

@@ -117,9 +117,10 @@ def make_trace(name: str, seed: int = 1) -> Iterator[UOp]:
 
 
 def _replay_trace(path: str) -> Iterator[UOp]:
-    # generator wrapper so the reader's file handle closes deterministically
-    # even when the pipeline abandons the stream before exhausting it
-    from repro.trace.format import TraceReader
+    # TraceStream (not a plain generator): the sampled-replay path probes
+    # for its take_batch so skip gaps decode as columnar batches; the
+    # stream closes its file handle on exhaustion and on GC when the
+    # pipeline abandons it early
+    from repro.trace.format import TraceStream
 
-    with TraceReader(path) as reader:
-        yield from reader
+    return TraceStream(path)

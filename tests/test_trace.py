@@ -472,6 +472,82 @@ class TestSampledReplay:
         assert res.instructions <= s["simulated_instructions"] == pipe.committed
         assert res.cycles <= pipe.cycle
 
+    def test_attach_error_rejects_degenerate_full_baseline(self):
+        from repro.core.pipeline import SimResult
+
+        def mini(instructions, cycles):
+            return SimResult(instructions, cycles, "samie", {}, {}, {},
+                             0, 0.0, 0.0, 0.0, {})
+
+        sampled = mini(100, 80)
+        # a zero-IPC full replay admits no relative error; reporting a
+        # "perfect" sample against it would mask the broken baseline
+        with pytest.raises(ValueError, match="degenerate baseline"):
+            attach_error(sampled, mini(0, 500))
+        assert "sampling" not in sampled.extra  # nothing half-recorded
+        assert attach_error(sampled, mini(100, 80)) == 0.0
+
+    def test_splice_boundary_bias_bounded(self, tmp_path):
+        # dependence-heavy stream with producer distances longer than a
+        # measured window: every clamp at a window start severs a real
+        # dependence, the worst case for splice bias.  The clamp trades
+        # a spurious stall (re-attaching to an unrelated uop) for a
+        # missing one; this pins that the resulting IPC bias stays
+        # bounded rather than compounding.
+        uops = []
+        for i in range(40000):
+            if i % 4 == 0:
+                uops.append(UOp(i, 0x400000 + 4 * i, OpClass.LOAD,
+                                addr=0x10000000 + 8 * (i % 4096), size=8,
+                                src1=min(i, 80)))
+            else:
+                uops.append(UOp(i, 0x400000 + 4 * i, OpClass.INT_ALU,
+                                src1=min(i, 80), src2=min(i, 3)))
+        path = str(tmp_path / "dep.uoptrace")
+        write_trace(path, uops)
+        name = spec_name(path)
+        full = run_spec(SimSpec.make(name, MACHINE_SAMIE, 37000, 2000))
+        sampled = run_spec(SimSpec.make(name, MACHINE_SAMIE, 40000, 0,
+                                        sample=(4000, 1200, 400)))
+        err = attach_error(sampled, full)
+        assert err < 0.10, f"splice-boundary bias {err:.1%}"
+
+    def test_warm_traffic_kept_out_of_measured_stats(self, tmp_path):
+        from repro.core.processor import build_processor
+        from repro.experiments.runner import build_lsq
+
+        path = str(tmp_path / "swim.uoptrace")
+        record_trace(path, "swim", 30000)
+        pipe = build_processor(build_lsq(MACHINE_SAMIE[1]), None)
+        res = run_sampled(pipe, registry.make_trace(spec_name(path)),
+                          SamplePlan(3000, 400, 200))
+        warm = res.extra["sampling"]["warm"]
+        assert set(warm) == {"uops", "iside", "dside", "branches"}
+        assert warm["uops"] > 20000  # ~87% of the stream was skipped
+        # detailed counters cover one window's warmup+measure traffic;
+        # had warm accesses leaked into the stats, the skip gap's d-side
+        # traffic alone would dwarf this bound
+        detailed_accesses = pipe.mem.l1d.stats.accesses
+        assert 0 < detailed_accesses < warm["dside"] / 4
+
+    def test_simulated_instructions_is_delta_from_entry(self, tmp_path):
+        from repro.core.processor import build_processor
+        from repro.experiments.runner import build_lsq
+
+        path = str(tmp_path / "gzip.uoptrace")
+        record_trace(path, "gzip", 6000)
+        pipe = build_processor(build_lsq(MACHINE_SAMIE[1]), None)
+        # a pipe that arrives with prior commits on the books (the
+        # counter is monotonic across runs) must report only its own
+        # windows' commits, not the lifetime total
+        prior = 5000
+        pipe.committed += prior
+        res = run_sampled(pipe, registry.make_trace(spec_name(path)),
+                          SamplePlan(1000, 200, 100))
+        s = res.extra["sampling"]["simulated_instructions"]
+        assert s == pipe.committed - prior
+        assert 0 < s < pipe.committed
+
     def test_relative_trace_path_canonicalised(self, tmp_path, monkeypatch):
         record_trace(str(tmp_path / "rel.uoptrace"), "gzip", 3000)
         monkeypatch.chdir(tmp_path)
