@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Simulation-as-a-service demo: submit -> stream -> results over HTTP.
+
+Run:  PYTHONPATH=src python examples/service_demo.py [workload ...]
+
+Stands up an in-process `SimService` (2 worker shards, in-memory result
+store) behind the stdlib HTTP server, then plays a deliberately
+redundant client against it: every workload is submitted three times in
+one batch.  The service's admission pipeline collapses the duplicates --
+the batch costs exactly one simulation per unique spec -- and the
+returned results are asserted bit-identical to a plain serial
+``run_many`` of the same specs.  Exit code 0 means both guarantees held.
+"""
+
+import sys
+
+from repro.experiments.runner import MACHINE_CONV128, MACHINE_SAMIE, SimSpec
+from repro.service import (
+    CacheConfig,
+    ServiceClient,
+    ServiceHTTPServer,
+    SimService,
+)
+
+INSTRUCTIONS, WARMUP = 5_000, 1_000
+
+
+def main() -> int:
+    workloads = sys.argv[1:] or ["gzip", "swim"]
+    specs = [
+        SimSpec.make(w, m, INSTRUCTIONS, WARMUP)
+        for w in workloads
+        for m in (MACHINE_CONV128, MACHINE_SAMIE)
+    ]
+    redundant = specs * 3  # the thundering herd, as one batch
+
+    # the reference: the legacy serial path through a private session
+    serial = SimService(cache=CacheConfig(backend="memory"), backend="inline")
+    reference = serial.run_many(specs)
+    serial.teardown()
+
+    with SimService(cache=CacheConfig(backend="memory"),
+                    jobs=2, backend="thread") as service:
+        server = ServiceHTTPServer(service, port=0)
+        server.start_background()
+        try:
+            client = ServiceClient(server.url)
+            print(f"service up at {server.url}")
+            print(f"submitting {len(redundant)} specs "
+                  f"({len(specs)} unique, x3 duplicates)\n")
+
+            batch = client.submit(redundant)
+            for event in client.stream(batch["batch"], timeout=120):
+                if event["event"] == "job":
+                    print(f"  [{event['state']:>8}] {event['workload']:<8} "
+                          f"@ {event['machine']}")
+                elif event["event"] == "done":
+                    stats = event["stats"]
+            results = client.results(batch["batch"], timeout=120)
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    print(f"\nadmission pipeline: {stats['submitted']} submitted, "
+          f"{stats['simulated']} simulated, "
+          f"{stats['deduplicated']} deduplicated")
+    assert stats["simulated"] == len(specs), (
+        f"expected exactly {len(specs)} simulations, got {stats['simulated']}")
+    assert stats["deduplicated"] == len(redundant) - len(specs)
+
+    mismatches = [
+        (spec.workload, spec.machine_key)
+        for spec, got, want in zip(redundant, results, reference * 3)
+        if got.to_dict() != want.to_dict()
+    ]
+    assert not mismatches, f"results diverged from serial run_many: {mismatches}"
+    print(f"all {len(results)} results bit-identical to serial run_many")
+
+    for spec, res in zip(specs, reference):
+        print(f"  {spec.workload:<8} {spec.machine_key:<22} "
+              f"ipc={res.ipc:.3f} lsq_energy={res.lsq_energy_total_pj / 1e3:.1f}nJ")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,15 @@ Subcommands:
                               geometry grid, checked against the golden
                               in-order oracle (the pre-merge gate is
                               ``repro verify --programs 500 --jobs 8``)
+* ``serve``                -- stand up the simulation service: a
+                              long-running ``SimService`` (sharded
+                              workers, in-flight dedup, admission
+                              control) behind the HTTP/JSON API
+* ``submit``               -- submit a workload batch to a running
+                              service over HTTP and print the results
+                              (``--stream`` follows progress events)
+* ``cache``                -- inspect (``info``) or empty (``clear``)
+                              the content-addressed result store
 
 ``run``, ``figure`` and ``all`` accept ``--jobs N`` (0 = one worker per
 core); uncached simulations fan out over a ``ProcessPoolExecutor`` with
@@ -129,27 +138,36 @@ def _parse_mem(args: argparse.Namespace):
     return mem
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    import json
-
-    from repro.experiments.runner import SimSpec, run_many
-    from repro.trace.format import TraceError
+def _build_specs(args: argparse.Namespace, machine, mem) -> list | None:
+    """The ``run``/``submit`` workload list as ``SimSpec``s (None = error)."""
+    from repro.experiments.runner import SimSpec
     from repro.workloads.registry import TRACE_SCHEME
 
-    machine = _run_machine(args.lsq)
-    mem = _parse_mem(args)
-    if mem is _MEM_ERROR:
-        return 2
     for w in args.workload:
         # synthetic typos keep their KeyError contract; a mistyped trace
         # path is a file problem and deserves a file message
         if w.startswith(TRACE_SCHEME) and not os.path.exists(w[len(TRACE_SCHEME):]):
             print(f"{w[len(TRACE_SCHEME):]}: no such trace file", file=sys.stderr)
-            return 1
-    specs = [
+            return None
+    return [
         SimSpec.make(w, machine, args.instructions, args.warmup, args.seed, mem=mem)
         for w in args.workload
     ]
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.runner import run_many
+    from repro.trace.format import TraceError
+
+    machine = _run_machine(args.lsq)
+    mem = _parse_mem(args)
+    if mem is _MEM_ERROR:
+        return 2
+    specs = _build_specs(args, machine, mem)
+    if specs is None:
+        return 1
     try:
         results = run_many(specs, jobs=args.jobs)
     except TraceError as e:
@@ -368,6 +386,113 @@ def _cmd_trace_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_cache_config(args: argparse.Namespace):
+    """Explicit CacheConfig for ``serve``/``cache`` (env is the fallback)."""
+    from repro.service.store import CacheConfig
+
+    if getattr(args, "memory_store", False):
+        return CacheConfig(backend="memory")
+    if getattr(args, "cache_dir", None):
+        return CacheConfig(backend="local", directory=args.cache_dir)
+    return CacheConfig.from_env()
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.httpapi import ServiceHTTPServer
+    from repro.service.session import SimService
+
+    service = SimService(
+        cache=_serve_cache_config(args),
+        jobs=args.jobs,
+        backend=args.backend,
+        max_pending=args.max_pending,
+    )
+    service.standup()
+    server = ServiceHTTPServer(service, args.host, args.port, quiet=not args.verbose)
+    host, port = server.server_address[:2]
+    info = service.store.info()
+    print(f"serving on http://{host}:{port}")
+    print(f"  store={info.backend} {info.location}, {info.entries} entries warm")
+    print(f"  workers={args.jobs or 'one per core'} backend={args.backend} "
+          f"max_pending={args.max_pending or 'unbounded'}")
+    if args.port_file:
+        # written only after the socket is bound: scripts wait on this file
+        with open(args.port_file, "w") as fh:
+            fh.write(f"{port}\n")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("interrupted; tearing down")
+    finally:
+        server.server_close()
+        service.teardown()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.client import ServiceClient, ServiceClientError
+
+    machine = _run_machine(args.lsq)
+    mem = _parse_mem(args)
+    if mem is _MEM_ERROR:
+        return 2
+    specs = _build_specs(args, machine, mem)
+    if specs is None:
+        return 1
+    client = ServiceClient(args.server, timeout=args.timeout)
+    try:
+        batch = client.submit(specs)
+        batch_id = batch["batch"]
+        cached = sum(1 for j in batch["jobs"] if j["state"] == "done")
+        print(f"batch {batch_id}: {len(batch['jobs'])} specs "
+              f"({cached} already cached)")
+        if args.stream:
+            for event in client.stream(batch_id, timeout=args.timeout):
+                if event["event"] == "job":
+                    print(f"  [{event['state']:>8}] {event['workload']}"
+                          f" @ {event['machine']} ({event['id'][:12]})")
+                elif event["event"] == "done":
+                    s = event["stats"]
+                    print(f"  done: simulated={s['simulated']} "
+                          f"deduplicated={s['deduplicated']} "
+                          f"memo={s['memo_hits']} store={s['store_hits']}")
+        results = client.results(batch_id, timeout=args.timeout)
+    except ServiceClientError as e:
+        print(e, file=sys.stderr)
+        return 1
+    except OSError as e:
+        print(f"cannot reach service at {args.server}: {e}", file=sys.stderr)
+        return 1
+    if args.json:
+        doc = [
+            {"workload": w, "machine": machine[0], "result": res.to_dict()}
+            for w, res in zip(args.workload, results)
+        ]
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+    for w, res in zip(args.workload, results):
+        _print_result(w, res)
+    if args.json:
+        print(f"report written to {args.json}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.service.store import build_store
+
+    store = build_store(_serve_cache_config(args))
+    if args.cache_cmd == "info":
+        print(store.info().describe())
+        return 0
+    clearance = store.clear()
+    print(f"removed {clearance.removed} entries "
+          f"({clearance.stale} stale/corrupt)")
+    return 0
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.verify.campaign import GRIDS, CampaignConfig, run_campaign
     from repro.verify.fuzz import PROFILE_NAMES
@@ -565,6 +690,58 @@ def main(argv: list[str] | None = None) -> int:
                        help="write each diverging program as a replayable "
                             ".uoptrace artifact in DIR (cross-session repro)")
     ver_p.set_defaults(fn=_cmd_verify)
+
+    srv_p = sub.add_parser("serve", help="stand up the simulation service (HTTP/JSON)")
+    srv_p.add_argument("--host", default="127.0.0.1")
+    srv_p.add_argument("--port", type=int, default=8421,
+                       help="listen port (0 = ephemeral; see --port-file)")
+    srv_p.add_argument("--port-file", default=None, metavar="PATH",
+                       help="write the bound port here once listening "
+                            "(scripts wait on this file)")
+    srv_p.add_argument("--jobs", type=int, default=0,
+                       help="standing simulation workers (0 = one per core)")
+    srv_p.add_argument("--backend", default="process",
+                       choices=["process", "thread", "inline"],
+                       help="worker backend (process is the default; thread "
+                            "and inline exist for tests/debugging)")
+    srv_p.add_argument("--max-pending", type=int, default=None, metavar="N",
+                       help="admission control: refuse batches that would "
+                            "push queued+running past N (default: unbounded)")
+    srv_p.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="result-store directory (overrides REPRO_CACHE_DIR)")
+    srv_p.add_argument("--memory-store", action="store_true",
+                       help="keep results in memory only (no disk cache)")
+    srv_p.add_argument("--verbose", action="store_true",
+                       help="log each HTTP request to stderr")
+    srv_p.set_defaults(fn=_cmd_serve)
+
+    sub_p = sub.add_parser("submit", help="submit a workload batch to a running service")
+    sub_p.add_argument("workload", nargs="+")
+    sub_p.add_argument("--server", default="http://127.0.0.1:8421",
+                       help="service base URL")
+    sub_p.add_argument("--lsq", default="samie",
+                       choices=["conventional", "unbounded", "samie", "arb"])
+    sub_p.add_argument("--instructions", type=int, default=20000)
+    sub_p.add_argument("--warmup", type=int, default=5000)
+    sub_p.add_argument("--seed", type=int, default=1)
+    sub_p.add_argument("--mem", default=None, metavar="K=V[,K=V...]",
+                       help="memory-hierarchy overrides (as in `run`)")
+    sub_p.add_argument("--stream", action="store_true",
+                       help="follow per-job progress events while waiting")
+    sub_p.add_argument("--timeout", type=float, default=300.0,
+                       help="seconds to wait for the batch (default 300)")
+    sub_p.add_argument("--json", default=None, metavar="PATH",
+                       help="also write the results as a JSON report here")
+    sub_p.set_defaults(fn=_cmd_submit)
+
+    cache_p = sub.add_parser("cache", help="inspect or clear the result store")
+    cache_sub = cache_p.add_subparsers(dest="cache_cmd", required=True)
+    for name, blurb in [("info", "describe the store and entry counts"),
+                        ("clear", "remove every entry (reports stale/corrupt)")]:
+        cp = cache_sub.add_parser(name, help=blurb)
+        cp.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="result-store directory (overrides REPRO_CACHE_DIR)")
+        cp.set_defaults(fn=_cmd_cache)
 
     args = parser.parse_args(argv)
     try:

@@ -33,6 +33,7 @@ def compute(
     configs: list[tuple[int, int]] | None = None,
     jobs: int | None = 1,
     mem: tuple | dict | None = None,
+    session=None,
 ) -> FigureResult:
     """Regenerate Figure 1 (mean over ``workloads``)."""
     names = workloads if workloads is not None else REPRESENTATIVE_WORKLOADS
@@ -47,7 +48,7 @@ def compute(
              for m in machines for w in names]
     ipc = {
         (s.workload, s.machine_key): r.ipc
-        for s, r in zip(specs, run_many(specs, jobs=jobs))
+        for s, r in zip(specs, run_many(specs, jobs=jobs, session=session))
     }
     ref = {w: ipc[(w, MACHINE_UNBOUNDED[0])] for w in names}
 

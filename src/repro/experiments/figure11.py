@@ -19,9 +19,10 @@ def compute(
     warmup: int | None = None,
     jobs: int | None = 1,
     mem: tuple | dict | None = None,
+    session=None,
 ) -> FigureResult:
     """Regenerate Figure 11 (um^2 x cycles per committed instruction)."""
-    pairs = suite_pairs(workloads, instructions, warmup, jobs=jobs, mem=mem)
+    pairs = suite_pairs(workloads, instructions, warmup, jobs=jobs, mem=mem, session=session)
     rows = []
     total_base = 0.0
     total_samie = 0.0

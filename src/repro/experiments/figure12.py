@@ -20,9 +20,10 @@ def compute(
     warmup: int | None = None,
     jobs: int | None = 1,
     mem: tuple | dict | None = None,
+    session=None,
 ) -> FigureResult:
     """Regenerate Figure 12 (percent shares)."""
-    pairs = suite_pairs(workloads, instructions, warmup, jobs=jobs, mem=mem)
+    pairs = suite_pairs(workloads, instructions, warmup, jobs=jobs, mem=mem, session=session)
     rows = []
     shared_share = {}
     for w, (_, samie) in pairs.items():

@@ -23,13 +23,14 @@ def compute(
     warmup: int | None = None,
     jobs: int | None = 1,
     mem: tuple | dict | None = None,
+    session=None,
 ) -> FigureResult:
     """Regenerate Figure 3 (one batched workload x geometry sweep)."""
     names = workloads if workloads is not None else sorted(SPEC2000_PROFILES)
     machines = [machine_samie_unbounded_shared(b, e) for b, e in GEOMETRIES]
     specs = [SimSpec.make(w, m, instructions, warmup, mem=mem)
              for w in names for m in machines]
-    results = run_many(specs, jobs=jobs)
+    results = run_many(specs, jobs=jobs, session=session)
     occ = {
         (s.workload, s.machine_key): r.shared_occupancy_mean
         for s, r in zip(specs, results)

@@ -24,12 +24,13 @@ def compute(
     warmup: int | None = None,
     jobs: int | None = 1,
     mem: tuple | dict | None = None,
+    session=None,
 ) -> FigureResult:
     """Regenerate Figure 4 (cumulative program counts)."""
     names = workloads if workloads is not None else sorted(SPEC2000_PROFILES)
     machine = machine_samie_unbounded_shared(64, 2)
     specs = [SimSpec.make(w, machine, instructions, warmup, mem=mem) for w in names]
-    results = run_many(specs, jobs=jobs)
+    results = run_many(specs, jobs=jobs, session=session)
     p99s = {s.workload: r.shared_occupancy_p99 for s, r in zip(specs, results)}
     rows = [[n, sum(1 for v in p99s.values() if v <= n)] for n in ENTRY_STEPS]
     count_at = dict(rows)

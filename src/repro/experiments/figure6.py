@@ -16,9 +16,10 @@ def compute(
     warmup: int | None = None,
     jobs: int | None = 1,
     mem: tuple | dict | None = None,
+    session=None,
 ) -> FigureResult:
     """Regenerate Figure 6."""
-    pairs = suite_pairs(workloads, instructions, warmup, jobs=jobs, mem=mem)
+    pairs = suite_pairs(workloads, instructions, warmup, jobs=jobs, mem=mem, session=session)
     rows = []
     rates = {}
     for w, (_, samie) in pairs.items():

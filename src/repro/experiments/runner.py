@@ -1,22 +1,37 @@
-"""Parallel sweep engine shared by the experiment drivers.
+"""Sweep-engine facade: declarative specs over the simulation service.
 
 The unit of work is a :class:`SimSpec`: a small, picklable description of
 one simulation (workload, machine, LSQ geometry, scale, seed, processor
 config).  Specs have a *stable* cache key -- a canonical JSON rendering of
-their fields, identical across processes and interpreter runs -- which
-feeds three cache layers:
+their fields, identical across processes and interpreter runs -- which is
+the **content address** the whole service layer is keyed by.
 
-1. an in-process memo (``_cache``), so figure drivers sharing a sweep
-   (Figures 5-12 all consume the conventional-vs-SAMIE suite) simulate
-   each point once per session;
-2. an optional on-disk JSON cache (``REPRO_CACHE_DIR``, disable with
-   ``REPRO_CACHE=0``), so repeated ``repro figure N`` / ``repro all``
-   invocations at the same scale are instant across processes and CI
-   runs;
-3. a :func:`run_many` fan-out over ``concurrent.futures``
-   ``ProcessPoolExecutor`` (the spec -> worker -> memoised-result pattern
-   of ``repro.verify.campaign``), so full-suite regeneration scales with
-   cores while staying bit-identical to the serial path.
+Execution and caching live in :mod:`repro.service`:
+
+* :class:`repro.service.session.SimService` owns the in-process memo,
+  the content-addressed :class:`~repro.service.store.ResultStore`, and
+  the sharded worker pool, with explicit lifecycle phases and in-flight
+  dedup (N identical submissions cost one simulation);
+* stores are pluggable (:class:`~repro.service.store.LocalDirStore`
+  keeps the historical on-disk layout; ``MemoryStore``/``NullStore``
+  behind the same interface) and configured explicitly with a
+  :class:`~repro.service.store.CacheConfig`;
+* ``repro serve`` / ``repro submit`` expose the same batches over
+  HTTP/JSON (:mod:`repro.service.httpapi`).
+
+This module keeps the **stable spec vocabulary** (``SimSpec``,
+``lsq_spec``, ``mem_spec``, the canonical machines) plus thin,
+bit-identical facades over one process-wide *default session*:
+:func:`run_spec` (the pure worker body), :func:`run_many`,
+:func:`sweep`, :func:`suite_pairs`, :func:`run_pair` and the legacy
+factory-based :func:`run_one`.  Every facade accepts ``session=`` to
+target an explicit :class:`SimService` (or a
+:class:`~repro.service.client.ServiceClient` speaking to a remote one);
+with ``session=None`` they share the default session, whose store
+follows the **deprecated** ``REPRO_CACHE``/``REPRO_CACHE_DIR``
+environment variables via :meth:`CacheConfig.from_env` so existing
+scripts keep working (see that method for the deprecation path -- new
+code passes a ``CacheConfig`` or store explicitly).
 
 Scale knobs: the paper simulates 100M instructions per benchmark on a
 native simulator; this pure-Python model defaults to 6000 instructions
@@ -29,13 +44,12 @@ semantics of :func:`run_one`.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
-import re
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, fields, replace
-from typing import Callable, Iterable, NamedTuple, Sequence
+from typing import Callable, Iterable, Sequence
+
+from repro.service.store import CacheClearance, CacheConfig, content_address
 
 from repro.core.config import ProcessorConfig
 from repro.core.pipeline import SimResult
@@ -419,127 +433,72 @@ class SimSpec:
 
 
 def _cache_id(key: tuple) -> str:
-    payload = json.dumps([CACHE_VERSION, *key], sort_keys=True)
-    return hashlib.sha1(payload.encode()).hexdigest()
+    return content_address(key, CACHE_VERSION)
 
 
-# -- disk cache --------------------------------------------------------------
+# -- the default session and its store ---------------------------------------
+#
+# The service layer (repro.service) is the real engine; these facades keep
+# one process-wide SimService whose store follows the deprecated
+# REPRO_CACHE/REPRO_CACHE_DIR environment variables, so legacy callers
+# (and the existing test/CI surface) see unchanged behaviour.
+
+_default_session = None
+
+
+def default_session():
+    """The process-wide :class:`~repro.service.session.SimService`.
+
+    Shares this module's memo (``_cache``) and rebinds its store whenever
+    the deprecated cache environment variables change, so the historical
+    env semantics keep working verbatim on top of the explicit
+    :class:`~repro.service.store.CacheConfig` API.
+    """
+    global _default_session
+    from repro.service.session import SimService
+
+    env = CacheConfig.from_env()
+    if _default_session is None:
+        _default_session = SimService(cache=env, memo=_cache)
+        _default_session.standup()
+    elif _default_session.cache_config != env:
+        _default_session.rebind_store(env)
+    return _default_session
+
 
 def cache_dir() -> str | None:
     """Directory of the on-disk result cache, or ``None`` when disabled.
 
+    Deprecated env mapping (see :meth:`CacheConfig.from_env`):
     ``REPRO_CACHE=0`` disables it; ``REPRO_CACHE_DIR`` overrides the
     default location (``~/.cache/samie-repro``).
     """
-    if os.environ.get("REPRO_CACHE", "1") in ("0", "off", "no", ""):
-        return None
-    return os.environ.get("REPRO_CACHE_DIR") or os.path.join(
-        os.path.expanduser("~"), ".cache", "samie-repro"
-    )
+    return CacheConfig.from_env().resolved_dir()
 
 
 def _disk_path(key: tuple) -> str | None:
-    d = cache_dir()
-    return os.path.join(d, _cache_id(key) + ".json") if d else None
+    return default_session().store.path_for(key)
 
 
 def _disk_load(key: tuple) -> SimResult | None:
-    path = _disk_path(key)
-    if path is None or not os.path.exists(path):
-        return None
-    try:
-        with open(path) as fh:
-            doc = json.load(fh)
-    except OSError:
-        return None  # unreadable (permissions/races): leave it alone
-    except ValueError:
-        _discard_stale(path)  # corrupt JSON: never loadable again
-        return None
-    try:
-        if doc.get("version") != CACHE_VERSION or doc.get("key") != list(key):
-            # written by an older CACHE_VERSION (or a key-hash collision):
-            # it can never be served again, so reclaim the disk space
-            # instead of letting dead generations accumulate forever
-            _discard_stale(path)
-            return None
-        return SimResult.from_dict(doc["result"])
-    except (ValueError, KeyError, TypeError):
-        return None  # malformed payload: recompute and overwrite
-
-
-def _discard_stale(path: str) -> None:
-    """Best-effort removal of a cache entry that can never be served."""
-    try:
-        os.remove(path)
-    except OSError:
-        pass
+    return default_session().store.get(key)
 
 
 def _disk_store(key: tuple, result: SimResult) -> None:
-    path = _disk_path(key)
-    if path is None:
-        return
-    try:
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        tmp = path + f".tmp{os.getpid()}"
-        with open(tmp, "w") as fh:
-            json.dump(
-                {"version": CACHE_VERSION, "key": list(key), "result": result.to_dict()},
-                fh,
-            )
-        os.replace(tmp, path)  # atomic under concurrent writers
-    except OSError:
-        pass  # cache is best-effort; the result is already in memory
-
-
-class CacheClearance(NamedTuple):
-    """What :func:`clear_disk_cache` removed.
-
-    ``removed`` counts every deleted entry; ``stale`` counts the subset
-    written by an abandoned ``CACHE_VERSION`` (or unreadable outright),
-    which could never have been served again.
-    """
-
-    removed: int
-    stale: int
+    default_session().store.put(key, result)
 
 
 def clear_disk_cache() -> CacheClearance:
-    """Remove every entry of the on-disk cache.
+    """Remove every entry of the default session's result store.
 
-    Returns a :class:`CacheClearance` reporting how many entries were
-    removed and how many of them were stale (version-mismatched or
-    corrupt).  Stale entries are also reclaimed incrementally whenever a
-    lookup touches them (see ``_disk_load``); this reports whatever was
-    still left.
+    Returns a :class:`~repro.service.store.CacheClearance` reporting how
+    many entries were removed and how many of them were stale
+    (version-mismatched or corrupt).  Stale entries are also reclaimed
+    incrementally whenever a lookup touches them; this reports whatever
+    was still left.  Prefer ``repro cache clear`` (or
+    ``store.clear()`` on an explicit session) in new code.
     """
-    d = cache_dir()
-    if d is None or not os.path.isdir(d):
-        return CacheClearance(0, 0)
-    # entries are written as {"version": N, ...}, so the version is
-    # decidable from the first few bytes -- no need to parse the (large)
-    # result payload just to classify the entry
-    version_head = re.compile(r'^\s*\{\s*"version"\s*:\s*(\d+)')
-    removed = 0
-    stale = 0
-    for name in os.listdir(d):
-        if not name.endswith(".json"):
-            continue
-        path = os.path.join(d, name)
-        try:
-            with open(path) as fh:
-                m = version_head.match(fh.read(64))
-            is_stale = m is None or int(m.group(1)) != CACHE_VERSION
-        except OSError:
-            is_stale = True
-        try:
-            os.remove(path)
-        except OSError:
-            continue  # not removed: do not count it (stale stays a subset)
-        removed += 1
-        if is_stale:
-            stale += 1
-    return CacheClearance(removed, stale)
+    return default_session().store.clear()
 
 
 # -- execution ---------------------------------------------------------------
@@ -585,57 +544,24 @@ def jobs_from_env(default: int = 1) -> int:
     return resolve_jobs(int(os.environ.get("REPRO_JOBS", str(default))))
 
 
-def run_many(specs: Sequence[SimSpec], jobs: int | None = 1) -> list[SimResult]:
+def run_many(
+    specs: Sequence[SimSpec], jobs: int | None = 1, session=None
+) -> list[SimResult]:
     """Run a batch of specs, results in spec order.
 
-    Serves each spec from the in-process memo, then the disk cache, and
-    fans the rest out over a process pool when ``jobs > 1`` (``jobs <= 0``
-    means one worker per core).  Results are bit-identical to the serial
-    path: workers are pure functions of their spec.
+    Thin facade over :meth:`SimService.run_many` on the default session
+    (pass ``session=`` -- a :class:`~repro.service.session.SimService`
+    or a remote :class:`~repro.service.client.ServiceClient` -- to
+    target another one).  Each spec is served from the session memo,
+    joined onto an identical in-flight job, served from the result
+    store, or simulated -- fanned out over sharded process workers when
+    ``jobs > 1`` (``jobs <= 0`` means one worker per core).  Results are
+    bit-identical to the serial path: workers are pure functions of
+    their spec.
     """
-    jobs = resolve_jobs(jobs)
-    # validate before touching keys: key construction stats trace files,
-    # and a missing file should surface as the documented KeyError
-    for spec in specs:
-        if not has_workload(spec.workload):
-            raise KeyError(f"unknown workload {spec.workload!r}")
-    # key construction walks the config and (for traces) stats the file;
-    # compute each spec's key exactly once for the whole batch
-    keys = [spec.key for spec in specs]
-    seen: dict[tuple, SimSpec] = {}
-    for spec, key in zip(specs, keys):
-        # the key's machine_key stands in for the LSQ geometry; catch a
-        # batch that maps one key to two different machines before any
-        # result could be served to (or persisted for) the wrong spec
-        prior = seen.setdefault(key, spec)
-        if prior.lsq != spec.lsq:
-            raise ValueError(
-                f"machine_key {spec.machine_key!r} names two different LSQ "
-                f"geometries ({prior.lsq} vs {spec.lsq}); machine keys must "
-                "uniquely identify the machine"
-            )
-    todo: dict[tuple, SimSpec] = {}
-    for spec, key in zip(specs, keys):
-        if key in _cache or key in todo:
-            continue
-        hit = _disk_load(key)
-        if hit is not None:
-            _cache[key] = hit
-        else:
-            todo[key] = spec
-    pending = list(todo.items())
-    if jobs <= 1 or len(pending) <= 1:
-        computed = [run_spec(s) for _, s in pending]
-    else:
-        chunk = max(1, len(pending) // (jobs * 4))
-        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-            computed = list(
-                pool.map(_pool_worker, [s for _, s in pending], chunksize=chunk)
-            )
-    for (key, _), result in zip(pending, computed):
-        _cache[key] = result
-        _disk_store(key, result)
-    return [_cache[key] for key in keys]
+    if session is None:
+        session = default_session()
+    return session.run_many(specs, jobs=jobs)
 
 
 def sweep(
@@ -646,6 +572,7 @@ def sweep(
     seed: int = 1,
     jobs: int | None = 1,
     mem: MemSpec | dict | None = None,
+    session=None,
 ) -> dict[tuple[str, str], SimResult]:
     """Cross-product convenience: {(workload, machine_key): result}.
 
@@ -658,7 +585,7 @@ def sweep(
     machines = list(machines)
     pairs = [(w, m) for w in workloads for m in machines]
     specs = [SimSpec.make(w, m, instructions, warmup, seed, mem=mem) for w, m in pairs]
-    results = run_many(specs, jobs=jobs)
+    results = run_many(specs, jobs=jobs, session=session)
     return {(w, m[0]): r for (w, m), r in zip(pairs, results)}
 
 
@@ -741,13 +668,14 @@ def run_pair(
     warmup: int | None = None,
     seed: int = 1,
     mem: MemSpec | dict | None = None,
+    session=None,
 ) -> tuple[SimResult, SimResult]:
     """(conventional, SAMIE) results for one workload."""
     specs = [
         SimSpec.make(workload, MACHINE_CONV128, instructions, warmup, seed, mem=mem),
         SimSpec.make(workload, MACHINE_SAMIE, instructions, warmup, seed, mem=mem),
     ]
-    base, samie = run_many(specs, jobs=1)
+    base, samie = run_many(specs, jobs=1, session=session)
     return base, samie
 
 
@@ -758,17 +686,19 @@ def suite_pairs(
     seed: int = 1,
     jobs: int | None = 1,
     mem: MemSpec | dict | None = None,
+    session=None,
 ) -> dict[str, tuple[SimResult, SimResult]]:
     """Conventional-vs-SAMIE results for a set of workloads (default all).
 
     The whole suite is submitted as one :func:`run_many` batch, so with
-    ``jobs > 1`` the 2 x N simulations fan out over the process pool.
-    ``mem`` applies a :func:`mem_spec` override set to every point.
+    ``jobs > 1`` the 2 x N simulations fan out over the worker shards.
+    ``mem`` applies a :func:`mem_spec` override set to every point;
+    ``session`` targets an explicit (possibly remote) session.
     """
     names = workloads if workloads is not None else sorted(SPEC2000_PROFILES)
     specs = []
     for w in names:
         specs.append(SimSpec.make(w, MACHINE_CONV128, instructions, warmup, seed, mem=mem))
         specs.append(SimSpec.make(w, MACHINE_SAMIE, instructions, warmup, seed, mem=mem))
-    results = run_many(specs, jobs=jobs)
+    results = run_many(specs, jobs=jobs, session=session)
     return {w: (results[2 * i], results[2 * i + 1]) for i, w in enumerate(names)}

@@ -33,15 +33,16 @@ PAPER_DELAYS = {
 }
 
 
-def compute(jobs: int | None = 1, mem: tuple | dict | None = None) -> FigureResult:
+def compute(jobs: int | None = 1, mem: tuple | dict | None = None,
+            session=None) -> FigureResult:
     """Regenerate Table 1 (model vs paper, plus improvement columns).
 
-    ``jobs`` and ``mem`` are accepted for driver-interface uniformity
-    (``repro all --jobs N --mem ...`` calls every driver the same way)
-    and ignored: the CACTI model is closed-form, no simulation to fan
-    out and no simulated memory hierarchy to override.
+    ``jobs``, ``mem`` and ``session`` are accepted for driver-interface
+    uniformity (``repro all --jobs N --mem ...`` calls every driver the
+    same way) and ignored: the CACTI model is closed-form, no simulation
+    to fan out and no simulated memory hierarchy to override.
     """
-    del jobs, mem
+    del jobs, mem, session
     rows = []
     for size, assoc, ports, paper_conv, paper_known in PAPER_TABLE1:
         conv = cache_access_time(size, assoc, 32, ports, way_known=False)

@@ -1,0 +1,564 @@
+"""``SimService``: the long-running simulation session over the sweep engine.
+
+One :class:`SimService` owns the three things the old free-function runner
+kept in module globals: the in-process memo, the result store, and the
+worker pool.  Its lifecycle is explicit::
+
+    standup  -> run       (pools created, submissions accepted)
+    run      -> analysis  (read-only: cached results served, new
+                           simulations refused)
+    any      -> teardown  (pools drained and shut down; the session is
+                           finished)
+
+Work enters as batches of :class:`~repro.experiments.runner.SimSpec`
+documents via :meth:`SimService.submit`, which resolves every spec
+through the admission pipeline:
+
+1. **memo** -- an identical spec already finished this session;
+2. **in-flight dedup** -- an identical spec is queued or running, so the
+   new submission *joins* the existing :class:`Job` (a thundering herd of
+   N identical specs costs exactly one simulation);
+3. **store** -- the content-addressed :class:`~repro.service.store
+   .ResultStore` already holds the result (warm restarts serve entirely
+   from here);
+4. otherwise a new job is queued, subject to **admission control**
+   (``max_pending`` bounds the queue; over-limit batches are refused
+   whole with :class:`AdmissionError` -- HTTP maps it to 429).
+
+Execution is sharded: a job's shard is chosen from its content address,
+so identical keys always land on the same single-worker executor and a
+shard's queue serializes them.  Shards are multi-process by default
+(``backend="process"``), multi-thread for IO-bound serving and tests
+(``"thread"``), or inline (``"inline"``).  A service stood up with
+``jobs=N`` keeps standing shards and schedules at submit time (the HTTP
+server mode); a service with ``jobs=None`` defers execution to
+:meth:`collect`, which spins ephemeral shards per call -- exactly the old
+``run_many(jobs=N)`` behaviour, bit-identical because workers are pure
+functions of their spec.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.core.pipeline import SimResult
+from repro.service.store import CacheConfig, ResultStore, build_store
+
+#: legal lifecycle phases, in order
+PHASES = ("created", "run", "analysis", "teardown")
+
+
+def _runner():
+    """The runner module, resolved per call.
+
+    Late binding keeps the import graph acyclic (the runner's facades
+    import this module) and lets tests monkeypatch ``runner.run_spec``
+    and see the service call the patched function.
+    """
+    from repro.experiments import runner
+
+    return runner
+
+
+class ServiceError(RuntimeError):
+    """Base class for session-level failures."""
+
+
+class PhaseError(ServiceError):
+    """An operation was attempted in a lifecycle phase that forbids it."""
+
+
+class AdmissionError(ServiceError):
+    """A batch was refused by admission control (queue full / read-only)."""
+
+
+@dataclass
+class Job:
+    """One unit of simulation work, shared by every submission of its key."""
+
+    spec: object  # SimSpec (typed loosely to avoid the import cycle)
+    key: tuple
+    cache_id: str
+    state: str = "queued"  # queued | running | done | failed
+    source: str | None = None  # memo | store | simulated
+    result: SimResult | None = None
+    error: str | None = None
+    exception: BaseException | None = None
+    _event: threading.Event = field(default_factory=threading.Event, repr=False)
+    _claimed: bool = field(default=False, repr=False)
+
+    def done(self) -> bool:
+        return self.state in ("done", "failed")
+
+    def wait(self, timeout: float | None = None) -> bool:
+        return self._event.wait(timeout)
+
+    def describe(self) -> dict:
+        return {
+            "id": self.cache_id,
+            "workload": self.spec.workload,
+            "machine": self.spec.machine_key,
+            "state": self.state,
+            "source": self.source,
+            "error": self.error,
+        }
+
+
+@dataclass
+class Batch:
+    """An ordered submission; ``jobs`` may repeat one :class:`Job` object
+    when the batch itself contained duplicate specs."""
+
+    batch_id: str
+    jobs: list[Job]
+
+    def done(self) -> bool:
+        return all(j.done() for j in self.jobs)
+
+    def wait(self, timeout: float | None = None) -> bool:
+        deadline = None if timeout is None else (_monotonic() + timeout)
+        for job in self.jobs:
+            remaining = None if deadline is None else max(0.0, deadline - _monotonic())
+            if not job.wait(remaining):
+                return False
+        return True
+
+    def results(self) -> list[SimResult]:
+        return [j.result for j in self.jobs]
+
+    def describe(self) -> dict:
+        return {
+            "batch": self.batch_id,
+            "done": self.done(),
+            "jobs": [j.describe() for j in self.jobs],
+        }
+
+
+def _monotonic() -> float:
+    import time
+
+    return time.monotonic()
+
+
+@dataclass
+class ServiceStats:
+    """Monotonic admission/dedup counters (the HTTP ``/v1/stats`` body)."""
+
+    submitted: int = 0  #: specs received by submit()
+    batches: int = 0
+    memo_hits: int = 0  #: served from this session's memo
+    store_hits: int = 0  #: served from the result store
+    dedup_inflight: int = 0  #: joined an identical queued/running job
+    dedup_batch: int = 0  #: duplicate of an earlier spec in the same batch
+    simulated: int = 0  #: jobs actually executed
+    failed: int = 0
+    rejected: int = 0  #: specs refused by admission control
+
+    def snapshot(self) -> dict:
+        d = dict(self.__dict__)
+        # one headline number for "how many submissions cost nothing"
+        d["deduplicated"] = self.dedup_inflight + self.dedup_batch
+        return d
+
+
+class SimService:
+    """A simulation session: store + memo + sharded worker pool.
+
+    ``store``/``cache`` configure the result store (pass at most one;
+    the default is :meth:`CacheConfig.from_env`, the deprecated env-var
+    mapping).  ``jobs=N`` keeps N standing worker shards from
+    :meth:`standup` until :meth:`teardown`; ``jobs=None`` (the library
+    default) defers parallelism to each :meth:`collect`/:meth:`run_many`
+    call.  ``backend`` picks the shard executor: ``"process"`` (real
+    parallelism, the default), ``"thread"`` or ``"inline"``.
+    ``max_pending`` bounds the queued+running job count (admission
+    control); ``memo`` lets a caller share an existing memo dict (the
+    legacy facades pass the runner's module-level memo).
+    """
+
+    def __init__(
+        self,
+        store: ResultStore | None = None,
+        cache: CacheConfig | None = None,
+        jobs: int | None = None,
+        backend: str = "process",
+        max_pending: int | None = None,
+        memo: dict | None = None,
+    ) -> None:
+        if store is not None and cache is not None:
+            raise ValueError("pass either a store or a CacheConfig, not both")
+        if backend not in ("process", "thread", "inline"):
+            raise ValueError(f"unknown worker backend {backend!r}")
+        self.cache_config = cache if store is None else None
+        if store is None:
+            store = build_store(cache if cache is not None else CacheConfig.from_env())
+            if cache is None:
+                self.cache_config = CacheConfig.from_env()
+        self.store = store
+        self.jobs = jobs
+        self.backend = backend
+        self.max_pending = max_pending
+        self.phase = "created"
+        self.stats = ServiceStats()
+        self._memo: dict[tuple, SimResult] = memo if memo is not None else {}
+        self._inflight: dict[tuple, Job] = {}
+        self._jobs_by_id: dict[str, Job] = {}
+        self._batches: dict[str, Batch] = {}
+        self._batch_seq = itertools.count(1)
+        self._lock = threading.RLock()
+        self._shards: list[Executor] | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def standup(self) -> "SimService":
+        """created -> run: allocate standing shards when ``jobs`` is set."""
+        with self._lock:
+            if self.phase == "run":
+                return self
+            if self.phase != "created":
+                raise PhaseError(f"cannot stand up from phase {self.phase!r}")
+            if self.jobs is not None and self.backend != "inline":
+                n = _runner().resolve_jobs(self.jobs)
+                self._shards = [self._make_executor() for _ in range(n)]
+            self.phase = "run"
+        return self
+
+    def analysis(self) -> "SimService":
+        """run -> analysis: serve cached results only; refuse new work."""
+        with self._lock:
+            if self.phase != "run":
+                raise PhaseError(f"cannot enter analysis from phase {self.phase!r}")
+            self.phase = "analysis"
+        return self
+
+    def teardown(self) -> None:
+        """Drain and release the worker shards; the session is finished."""
+        with self._lock:
+            if self.phase == "teardown":
+                return
+            shards, self._shards = self._shards, None
+            self.phase = "teardown"
+        for ex in shards or ():
+            ex.shutdown(wait=True)
+        with self._lock:
+            # anything still queued after the pools drained can never run
+            for job in list(self._inflight.values()):
+                if not job.done():
+                    self._fail(job, ServiceError("service torn down"))
+
+    def __enter__(self) -> "SimService":
+        return self.standup()
+
+    def __exit__(self, *exc) -> None:
+        self.teardown()
+
+    def _make_executor(self) -> Executor:
+        # one worker per shard: a shard's queue serializes identical keys
+        if self.backend == "thread":
+            return ThreadPoolExecutor(max_workers=1)
+        return ProcessPoolExecutor(max_workers=1)
+
+    # -- admission -----------------------------------------------------------
+
+    def pending(self) -> int:
+        """Queued + running job count (the admission-control gauge)."""
+        with self._lock:
+            return sum(1 for j in self._inflight.values() if not j.done())
+
+    def submit(self, specs) -> Batch:
+        """Admit a batch of specs; returns immediately with its jobs.
+
+        Every spec resolves to exactly one :class:`Job` (memo hit, store
+        hit, join of an in-flight duplicate, or a newly queued job).  On
+        a service with standing shards the new jobs are scheduled here;
+        otherwise they run at :meth:`collect` time.
+        """
+        runner = _runner()
+        specs = list(specs)
+        with self._lock:
+            if self.phase == "created":
+                self.standup()
+            if self.phase == "teardown":
+                raise PhaseError("service is torn down")
+        # validate before touching keys: key construction stats trace
+        # files, and a missing workload should surface as the documented
+        # KeyError before any work is admitted
+        for spec in specs:
+            if not runner.has_workload(spec.workload):
+                raise KeyError(f"unknown workload {spec.workload!r}")
+        keys = [spec.key for spec in specs]
+        seen: dict[tuple, object] = {}
+        for spec, key in zip(specs, keys):
+            # the key's machine_key stands in for the LSQ geometry; catch
+            # a batch that maps one key to two different machines before
+            # any result could be served to the wrong spec
+            prior = seen.setdefault(key, spec)
+            if prior.lsq != spec.lsq:
+                raise ValueError(
+                    f"machine_key {spec.machine_key!r} names two different LSQ "
+                    f"geometries ({prior.lsq} vs {spec.lsq}); machine keys must "
+                    "uniquely identify the machine"
+                )
+        with self._lock:
+            for key, spec in seen.items():
+                live = self._inflight.get(key)
+                if live is not None and live.spec.lsq != spec.lsq:
+                    raise ValueError(
+                        f"machine_key {spec.machine_key!r} names two different LSQ "
+                        f"geometries ({live.spec.lsq} vs {spec.lsq}); machine keys "
+                        "must uniquely identify the machine"
+                    )
+            jobs = self._admit_locked(specs, keys)
+            batch = Batch(batch_id=f"b{next(self._batch_seq)}", jobs=jobs)
+            self._batches[batch.batch_id] = batch
+            self.stats.batches += 1
+        return batch
+
+    def _admit_locked(self, specs, keys) -> list[Job]:
+        stats = self.stats
+        stats.submitted += len(specs)
+        # resolution pass: classify every spec WITHOUT mutating any state,
+        # so an admission refusal below rejects the batch atomically
+        first_kind: dict[tuple, str] = {}
+        store_hits: dict[tuple, SimResult] = {}
+        resolution: list[str] = []  # per-spec kind; "dup" = earlier in batch
+        for key in keys:
+            if key in first_kind:
+                resolution.append("dup")
+                continue
+            if key in self._memo:
+                kind = "memo"
+            elif key in self._inflight:
+                kind = "inflight"
+            else:
+                hit = self.store.get(key)
+                if hit is not None:
+                    kind = "store"
+                    store_hits[key] = hit
+                else:
+                    kind = "new"
+            first_kind[key] = kind
+            resolution.append(kind)
+        fresh = [k for k, kind in first_kind.items() if kind == "new"]
+        if fresh and self.phase == "analysis":
+            stats.rejected += len(specs)
+            spec = specs[keys.index(fresh[0])]
+            raise AdmissionError(
+                "analysis phase is read-only: "
+                f"{spec.workload}/{spec.machine_key} is not cached"
+            )
+        if self.max_pending is not None:
+            live = sum(1 for j in self._inflight.values() if not j.done())
+            if live + len(fresh) > self.max_pending:
+                stats.rejected += len(specs)
+                raise AdmissionError(
+                    f"admission refused: {len(fresh)} new jobs would exceed "
+                    f"max_pending={self.max_pending} ({live} in flight)"
+                )
+        # materialize pass: one Job per unique key, counters per spec
+        jobs: list[Job] = []
+        new_jobs: list[Job] = []
+        batch_jobs: dict[tuple, Job] = {}
+        for spec, key, kind in zip(specs, keys, resolution):
+            if kind == "dup":
+                job = batch_jobs[key]
+                stats.dedup_batch += 1
+            elif kind == "memo":
+                job = self._hit_job(spec, key, self._memo[key], "memo")
+                stats.memo_hits += 1
+            elif kind == "store":
+                self._memo[key] = store_hits[key]
+                job = self._hit_job(spec, key, store_hits[key], "store")
+                stats.store_hits += 1
+            elif kind == "inflight":
+                job = self._inflight[key]
+                stats.dedup_inflight += 1
+            else:
+                job = Job(spec=spec, key=key, cache_id=spec.cache_id)
+                self._inflight[key] = job
+                new_jobs.append(job)
+            batch_jobs.setdefault(key, job)
+            self._jobs_by_id[job.cache_id] = job
+            jobs.append(job)
+        if self._shards is not None:
+            for job in new_jobs:
+                self._schedule_locked(job)
+        return jobs
+
+    def _hit_job(self, spec, key, result: SimResult, source: str) -> Job:
+        job = Job(spec=spec, key=key, cache_id=spec.cache_id,
+                  state="done", source=source, result=result)
+        job._event.set()
+        return job
+
+    # -- execution -----------------------------------------------------------
+
+    def _schedule_locked(self, job: Job) -> None:
+        job._claimed = True
+        job.state = "running"
+        self.stats.simulated += 1
+        shard = self._shards[int(job.cache_id[:8], 16) % len(self._shards)]
+        if self.backend == "thread":
+            future = shard.submit(lambda spec=job.spec: _runner().run_spec(spec))
+        else:
+            future = shard.submit(_runner()._pool_worker, job.spec)
+        future.add_done_callback(lambda f, job=job: self._on_future(job, f))
+
+    def _on_future(self, job: Job, future) -> None:
+        exc = future.exception()
+        if exc is not None:
+            with self._lock:
+                self._fail(job, exc)
+        else:
+            self._finish(job, future.result())
+
+    def _finish(self, job: Job, result: SimResult) -> None:
+        with self._lock:
+            job.result = result
+            job.state = "done"
+            job.source = job.source or "simulated"
+            self._memo[job.key] = result
+            self._inflight.pop(job.key, None)
+        self.store.put(job.key, result)
+        job._event.set()
+
+    def _fail(self, job: Job, exc: BaseException) -> None:
+        job.exception = exc
+        job.error = f"{type(exc).__name__}: {exc}"
+        job.state = "failed"
+        self.stats.failed += 1
+        self._inflight.pop(job.key, None)  # a later submit may retry
+        job._event.set()
+
+    def _run_inline(self, job: Job) -> None:
+        job.state = "running"
+        self.stats.simulated += 1
+        try:
+            result = _runner().run_spec(job.spec)
+        except BaseException as exc:
+            with self._lock:
+                self._fail(job, exc)
+            raise
+        self._finish(job, result)
+
+    def collect(self, batch: Batch, jobs: int | None = None) -> list[SimResult]:
+        """Complete every job of a batch; results in submission order.
+
+        Unclaimed queued jobs are executed here: inline when the
+        effective worker count is 1 (bit-identical serial path, and the
+        path tests exercise with a monkeypatched ``run_spec``), otherwise
+        over ephemeral single-worker shards keyed by content address.
+        Jobs claimed by standing shards (or a concurrent collect) are
+        simply awaited.  The first failed job re-raises its exception.
+        """
+        runner = _runner()
+        with self._lock:
+            mine = []
+            for job in batch.jobs:
+                if job.state == "queued" and not job._claimed and job not in mine:
+                    job._claimed = True
+                    mine.append(job)
+        n = runner.resolve_jobs(jobs if jobs is not None else (self.jobs or 1))
+        if self.backend == "inline" or n <= 1 or len(mine) <= 1:
+            for i, job in enumerate(mine):
+                try:
+                    self._run_inline(job)
+                except BaseException:
+                    with self._lock:
+                        # release the rest so a later collect can run them
+                        for leftover in mine[i + 1:]:
+                            leftover._claimed = False
+                    raise
+        else:
+            shards = [self._make_executor() for _ in range(min(n, len(mine)))]
+            try:
+                futures = []
+                for job in mine:
+                    job.state = "running"
+                    self.stats.simulated += 1
+                    shard = shards[int(job.cache_id[:8], 16) % len(shards)]
+                    if self.backend == "thread":
+                        futures.append(shard.submit(
+                            lambda spec=job.spec: _runner().run_spec(spec)))
+                    else:
+                        futures.append(shard.submit(runner._pool_worker, job.spec))
+                for job, future in zip(mine, futures):
+                    exc = future.exception()
+                    if exc is not None:
+                        with self._lock:
+                            self._fail(job, exc)
+                    else:
+                        self._finish(job, future.result())
+            finally:
+                for ex in shards:
+                    ex.shutdown(wait=True)
+        for job in batch.jobs:
+            job.wait()
+            if job.state == "failed":
+                raise job.exception
+        return batch.results()
+
+    def run_many(self, specs, jobs: int | None = None) -> list[SimResult]:
+        """Submit + collect: the synchronous batch API the facades use."""
+        return self.collect(self.submit(specs), jobs=jobs)
+
+    # -- lookups -------------------------------------------------------------
+
+    def batch(self, batch_id: str) -> Batch | None:
+        with self._lock:
+            return self._batches.get(batch_id)
+
+    def job(self, cache_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs_by_id.get(cache_id)
+
+    def result_by_address(self, address: str) -> SimResult | None:
+        """Resolve a content address via finished jobs, then the store."""
+        with self._lock:
+            job = self._jobs_by_id.get(address)
+            if job is not None and job.state == "done":
+                return job.result
+        return self.store.get_by_address(address)
+
+    def rebind_store(self, cache: CacheConfig) -> None:
+        """Swap the result store (the env-following default session)."""
+        with self._lock:
+            self.store = build_store(cache)
+            self.cache_config = cache
+
+    def describe(self) -> dict:
+        """Stats + store + lifecycle snapshot (the HTTP ``/v1/stats``)."""
+        with self._lock:
+            info = self.store.info()
+            return {
+                "phase": self.phase,
+                "backend": self.backend,
+                "jobs": self.jobs,
+                "max_pending": self.max_pending,
+                "pending": sum(1 for j in self._inflight.values() if not j.done()),
+                "stats": self.stats.snapshot(),
+                "store": dict(info._asdict()),
+            }
+
+
+#: alias: the batch-oriented name used by driver code and the docs
+SweepSession = SimService
+
+
+def _default_memo() -> dict:
+    # the legacy facades share the runner's module-level memo so mixed
+    # facade/session code never recomputes a point
+    return _runner()._cache
+
+
+def make_session(
+    cache: CacheConfig | None = None,
+    jobs: int | None = None,
+    backend: str = "process",
+    max_pending: int | None = None,
+) -> SimService:
+    """Convenience constructor used by the CLI ``serve`` verb."""
+    return SimService(cache=cache, jobs=jobs, backend=backend, max_pending=max_pending)

@@ -1,0 +1,127 @@
+"""JSON wire format for :class:`~repro.experiments.runner.SimSpec`.
+
+One spec travels as a flat document::
+
+    {"workload": "gzip", "machine_key": "samie",
+     "lsq": {"kind": "samie", "params": {"banks": 64}},
+     "instructions": 6000, "warmup": 3000, "seed": 1,
+     "sample": [10000, 3000, 1000] | null,
+     "mem": {"mshr_entries": 4} | null,
+     "cfg": {...ProcessorConfig asdict...} | null,
+     "warm_engine": "vector"}
+
+The codec is canonical: ``spec_from_doc(spec_to_doc(s)).key == s.key``,
+so an HTTP submission and an in-process submission of the same spec
+share one content address (the dedup and warm-restart guarantees depend
+on this).  Decoding is strict -- unknown fields and malformed values
+raise ``ValueError`` with a message fit for an HTTP 400 body.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, fields
+
+_SPEC_FIELDS = frozenset({
+    "workload", "machine_key", "lsq", "instructions", "warmup",
+    "seed", "cfg", "sample", "mem", "warm_engine",
+})
+
+
+def spec_to_doc(spec) -> dict:
+    """A :class:`SimSpec` as a JSON-serialisable document."""
+    kind, params = spec.lsq
+    return {
+        "workload": spec.workload,
+        "machine_key": spec.machine_key,
+        "lsq": {"kind": kind, "params": dict(params)},
+        "instructions": spec.instructions,
+        "warmup": spec.warmup,
+        "seed": spec.seed,
+        "cfg": asdict(spec.cfg) if spec.cfg is not None else None,
+        "sample": list(spec.sample) if spec.sample else None,
+        "mem": dict(spec.mem) if spec.mem else None,
+        "warm_engine": spec.warm_engine,
+    }
+
+
+def _decode_cfg(doc):
+    from repro.core.config import ProcessorConfig
+    from repro.mem.hierarchy import MemConfig
+
+    if doc is None:
+        return None
+    if not isinstance(doc, dict):
+        raise ValueError("cfg must be an object or null")
+    known = {f.name for f in fields(ProcessorConfig)}
+    unknown = set(doc) - known
+    if unknown:
+        raise ValueError(f"unknown ProcessorConfig fields {sorted(unknown)}")
+    kw = dict(doc)
+    mem = kw.pop("mem", None)
+    if mem is not None:
+        mem_known = {f.name for f in fields(MemConfig)}
+        mem_unknown = set(mem) - mem_known
+        if mem_unknown:
+            raise ValueError(f"unknown MemConfig fields {sorted(mem_unknown)}")
+        kw["mem"] = MemConfig(**mem)
+    return ProcessorConfig(**kw)
+
+
+def spec_from_doc(doc: dict):
+    """Decode one spec document; raises ``ValueError`` on malformed input."""
+    from repro.experiments.runner import SimSpec, lsq_spec, mem_spec
+
+    if not isinstance(doc, dict):
+        raise ValueError("spec must be a JSON object")
+    unknown = set(doc) - _SPEC_FIELDS
+    if unknown:
+        raise ValueError(f"unknown spec fields {sorted(unknown)}")
+    try:
+        workload = doc["workload"]
+        machine_key = doc["machine_key"]
+        lsq_doc = doc["lsq"]
+    except KeyError as e:
+        raise ValueError(f"spec is missing required field {e.args[0]!r}") from None
+    if not isinstance(lsq_doc, dict) or "kind" not in lsq_doc:
+        raise ValueError('lsq must be {"kind": ..., "params": {...}}')
+    params = lsq_doc.get("params") or {}
+    if not isinstance(params, dict):
+        raise ValueError("lsq.params must be an object")
+    sample = doc.get("sample")
+    if sample is not None:
+        if not isinstance(sample, (list, tuple)) or len(sample) != 3:
+            raise ValueError("sample must be a [period, warmup, measure] triple")
+        sample = tuple(int(x) for x in sample)
+    mem = doc.get("mem")
+    try:
+        mem = mem_spec(**mem) if mem else None
+    except (TypeError, ValueError) as e:
+        raise ValueError(str(e)) from None
+    try:
+        return SimSpec(
+            workload=str(workload),
+            machine_key=str(machine_key),
+            lsq=lsq_spec(str(lsq_doc["kind"]), **params),
+            instructions=int(doc.get("instructions", 0) or 0),
+            warmup=int(doc.get("warmup", 0) or 0),
+            seed=int(doc.get("seed", 1)),
+            cfg=_decode_cfg(doc.get("cfg")),
+            sample=sample,
+            mem=mem,
+            warm_engine=str(doc.get("warm_engine", "vector")),
+        )
+    except TypeError as e:
+        raise ValueError(str(e)) from None
+
+
+def specs_from_docs(docs) -> list:
+    """Decode a batch, annotating errors with the offending index."""
+    if not isinstance(docs, list) or not docs:
+        raise ValueError("specs must be a non-empty array")
+    specs = []
+    for i, doc in enumerate(docs):
+        try:
+            specs.append(spec_from_doc(doc))
+        except ValueError as e:
+            raise ValueError(f"specs[{i}]: {e}") from None
+    return specs
