@@ -46,6 +46,7 @@ import time
 
 from repro.core.processor import build_processor
 from repro.experiments.runner import build_lsq, lsq_spec
+from repro.obs.profile import STAGE_METHODS, wrap_stages
 from repro.workloads.registry import make_trace
 
 #: the measured grid: every LSQ kind the paper evaluates
@@ -56,12 +57,6 @@ MACHINES = [
 ]
 
 DEFAULT_WORKLOADS = ["gzip", "swim", "mcf"]
-
-#: pipeline stage methods wrapped for the --breakdown timing mode
-STAGE_METHODS = [
-    "_complete", "_commit", "_memory_issue", "_issue", "_dispatch", "_fetch",
-]
-
 
 def host_score(repeat: int = 5, iterations: int = 200_000) -> float:
     """Interpreter-speed calibration: iterations/sec of a fixed kernel.
@@ -98,21 +93,15 @@ def _run_once(spec, workload: str, n: int, warmup: int, seed: int = 1):
 
 
 def _stage_breakdown(spec, workload: str, n: int, warmup: int, seed: int = 1):
-    """Wall time per pipeline stage (wrapping slows the run; relative only)."""
+    """Wall time per pipeline stage (wrapping slows the run; relative only).
+
+    Stage wrapping lives in :mod:`repro.obs.profile` (the ``repro run
+    --profile`` machinery); this keeps the bench's JSON schema.
+    """
     pipe = build_processor(build_lsq(spec))
     pipe.attach_trace(make_trace(workload, seed))
-    acc: dict[str, float] = {m: 0.0 for m in STAGE_METHODS}
-
-    def wrap(name, fn):
-        def timed(*a, **kw):
-            t0 = time.perf_counter()
-            out = fn(*a, **kw)
-            acc[name] += time.perf_counter() - t0
-            return out
-        return timed
-
-    for name in STAGE_METHODS:
-        setattr(pipe, name, wrap(name, getattr(pipe, name)))
+    acc: dict[str, float] = {}
+    wrap_stages(pipe, acc)
     t0 = time.perf_counter()
     pipe.run(n, warmup=warmup)
     total = time.perf_counter() - t0

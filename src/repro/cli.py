@@ -9,7 +9,10 @@ Subcommands:
 * ``run WORKLOAD...``      -- simulate one or more workloads on one LSQ
                               design (``--jobs N`` fans the batch out
                               over a process pool); a ``trace:<path>``
-                              workload replays a recorded trace
+                              workload replays a recorded trace;
+                              ``--profile`` prints a per-stage time and
+                              occupancy report, ``--cycle-trace PATH``
+                              dumps a cycle-level NDJSON event trace
 * ``figure ID``            -- regenerate one paper artefact (figure1,
                               figure3..figure12, table1)
 * ``all``                  -- regenerate every artefact
@@ -29,7 +32,10 @@ Subcommands:
                               control) behind the HTTP/JSON API
 * ``submit``               -- submit a workload batch to a running
                               service over HTTP and print the results
-                              (``--stream`` follows progress events)
+                              (``--stream`` follows progress events,
+                              heartbeat frames included)
+* ``top``                  -- live terminal dashboard for a running
+                              service (``--once`` for a single frame)
 * ``cache``                -- inspect (``info``) or empty (``clear``)
                               the content-addressed result store
 
@@ -155,6 +161,41 @@ def _build_specs(args: argparse.Namespace, machine, mem) -> list | None:
     ]
 
 
+def _run_instrumented(args: argparse.Namespace, specs: list) -> int:
+    """``run --profile`` / ``--cycle-trace``: simulate with obs hooks.
+
+    Instrumented runs bypass the result cache on purpose -- profiling a
+    cache hit would time nothing -- but the SimResults themselves stay
+    bit-identical to the uninstrumented path (hooks observe, never
+    steer).
+    """
+    from repro.obs.cycletrace import CycleTracer
+    from repro.obs.profile import run_profiled
+    from repro.trace.format import TraceError
+
+    if args.cycle_trace and len(specs) > 1:
+        print("--cycle-trace writes one NDJSON file; run one workload "
+              "at a time", file=sys.stderr)
+        return 2
+    for w, spec in zip(args.workload, specs):
+        tracer = CycleTracer(every=1) if args.cycle_trace else None
+        try:
+            result, report = run_profiled(spec, tracer=tracer)
+        except TraceError as e:
+            print(e, file=sys.stderr)
+            return 1
+        _print_result(w, result)
+        if args.profile:
+            print()
+            print(report.render())
+        if tracer is not None:
+            rows = tracer.dump(args.cycle_trace)
+            print(f"cycle trace: {rows} records -> {args.cycle_trace}"
+                  + (f" ({tracer.dropped} dropped: ring full)"
+                     if tracer.dropped else ""))
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     import json
 
@@ -168,6 +209,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     specs = _build_specs(args, machine, mem)
     if specs is None:
         return 1
+    if args.profile or args.cycle_trace:
+        return _run_instrumented(args, specs)
     try:
         results = run_many(specs, jobs=args.jobs)
     except TraceError as e:
@@ -398,9 +441,16 @@ def _serve_cache_config(args: argparse.Namespace):
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.obs import log as obs_log
     from repro.service.httpapi import ServiceHTTPServer
     from repro.service.session import SimService
 
+    if args.obs:
+        obs.enable()
+    obs_log.configure(verbosity=args.log_v - args.log_q,
+                      json_lines=args.log_json)
+    log = obs_log.get_logger("serve")
     service = SimService(
         cache=_serve_cache_config(args),
         jobs=args.jobs,
@@ -411,10 +461,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     server = ServiceHTTPServer(service, args.host, args.port, quiet=not args.verbose)
     host, port = server.server_address[:2]
     info = service.store.info()
-    print(f"serving on http://{host}:{port}")
-    print(f"  store={info.backend} {info.location}, {info.entries} entries warm")
-    print(f"  workers={args.jobs or 'one per core'} backend={args.backend} "
-          f"max_pending={args.max_pending or 'unbounded'}")
+    log.info("serving on http://%s:%s", host, port)
+    log.info("store=%s %s, %s entries warm",
+             info.backend, info.location, info.entries)
+    log.info("workers=%s backend=%s max_pending=%s obs=%s",
+             args.jobs or "one per core", args.backend,
+             args.max_pending or "unbounded", "on" if obs.enabled() else "off")
     if args.port_file:
         # written only after the socket is bound: scripts wait on this file
         with open(args.port_file, "w") as fh:
@@ -422,7 +474,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        print("interrupted; tearing down")
+        log.info("interrupted; tearing down")
     finally:
         server.server_close()
         service.teardown()
@@ -453,6 +505,14 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                 if event["event"] == "job":
                     print(f"  [{event['state']:>8}] {event['workload']}"
                           f" @ {event['machine']} ({event['id'][:12]})")
+                elif event["event"] == "heartbeat":
+                    rate = event.get("sims_per_sec")
+                    hit = event.get("store_hit_rate")
+                    print(f"  [heartbeat] queued={event['queue_depth']} "
+                          f"inflight={event['inflight']} "
+                          f"simulated={event['simulated']}"
+                          + (f" sims/sec={rate:.1f}" if rate is not None else "")
+                          + (f" hit_rate={hit:.0%}" if hit is not None else ""))
                 elif event["event"] == "done":
                     s = event["stats"]
                     print(f"  done: simulated={s['simulated']} "
@@ -478,6 +538,12 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     if args.json:
         print(f"report written to {args.json}")
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.top import top
+
+    return top(args.server, interval=args.interval, once=args.once)
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -593,6 +659,12 @@ def main(argv: list[str] | None = None) -> int:
     run_p.add_argument("--seed", type=int, default=1)
     run_p.add_argument("--json", default=None, metavar="PATH",
                        help="also write the results as a JSON report here")
+    run_p.add_argument("--profile", action="store_true",
+                       help="per-stage time + structure-occupancy report "
+                            "(instrumented run; bypasses the result cache)")
+    run_p.add_argument("--cycle-trace", default=None, metavar="PATH",
+                       help="dump a cycle-level NDJSON event trace here "
+                            "(occupancy rows + flush events; one workload)")
     add_sweep_flags(run_p)
     run_p.set_defaults(fn=_cmd_run)
 
@@ -713,6 +785,16 @@ def main(argv: list[str] | None = None) -> int:
                        help="keep results in memory only (no disk cache)")
     srv_p.add_argument("--verbose", action="store_true",
                        help="log each HTTP request to stderr")
+    srv_p.add_argument("--obs", action="store_true",
+                       help="enable the observability plane (spans + "
+                            "worker telemetry); REPRO_OBS=1 equivalent")
+    srv_p.add_argument("--log-json", action="store_true",
+                       help="emit log records as JSON lines (joinable "
+                            "with spans/metrics by run ID)")
+    srv_p.add_argument("-v", dest="log_v", action="count", default=0,
+                       help="more log detail (DEBUG)")
+    srv_p.add_argument("-q", dest="log_q", action="count", default=0,
+                       help="less log detail (WARNING)")
     srv_p.set_defaults(fn=_cmd_serve)
 
     sub_p = sub.add_parser("submit", help="submit a workload batch to a running service")
@@ -733,6 +815,15 @@ def main(argv: list[str] | None = None) -> int:
     sub_p.add_argument("--json", default=None, metavar="PATH",
                        help="also write the results as a JSON report here")
     sub_p.set_defaults(fn=_cmd_submit)
+
+    top_p = sub.add_parser("top", help="live terminal view of a running service")
+    top_p.add_argument("server", nargs="?", default="http://127.0.0.1:8421",
+                       help="service base URL (default: %(default)s)")
+    top_p.add_argument("--interval", type=float, default=1.0,
+                       help="seconds between refreshes (default: %(default)s)")
+    top_p.add_argument("--once", action="store_true",
+                       help="render one frame and exit (scripts, CI smoke)")
+    top_p.set_defaults(fn=_cmd_top)
 
     cache_p = sub.add_parser("cache", help="inspect or clear the result store")
     cache_sub = cache_p.add_subparsers(dest="cache_cmd", required=True)

@@ -46,6 +46,7 @@ from repro.isa.opclasses import EXEC_LATENCY, PIPELINED, fu_pool_for
 from repro.isa.uop import UOp
 from repro.lsq.base import BaseLSQ, RouteKind
 from repro.mem.hierarchy import MemoryHierarchy
+from repro.obs.telemetry import build_extra, get_telemetry
 
 #: hoisted Table 5 cache-access energies (read per data-side access)
 _E_DCACHE_WAY = CACHE_ENERGY["dcache_way_known_access"]
@@ -99,6 +100,14 @@ class SimResult:
         fields = {k: v for k, v in d.items() if k in cls.__dataclass_fields__}
         return cls(**fields)
 
+    def telemetry(self) -> dict:
+        """The versioned telemetry envelope (``extra["telemetry"]``).
+
+        Reads legacy pre-envelope extras too; see
+        :mod:`repro.obs.telemetry` for the schema.
+        """
+        return get_telemetry(self)
+
 
 class Pipeline:
     """The cycle loop.  Construct via :func:`repro.core.processor.build_processor`."""
@@ -125,6 +134,7 @@ class Pipeline:
         "committed_load_values",
         "shared_occ_hist", "addr_buffer_busy_cycles",
         "_stat_cycle0", "_stat_committed0",
+        "_ctrace",
         "__dict__",
     )
 
@@ -226,12 +236,26 @@ class Pipeline:
         self._stat_cycle0 = 0
         self._stat_committed0 = 0
 
+        #: opt-in cycle tracer (repro.obs.cycletrace); None costs one
+        #: identity test per cycle, the whole disabled-observability budget
+        self._ctrace = None
+
     # ------------------------------------------------------------------
     # trace plumbing
     # ------------------------------------------------------------------
     def attach_trace(self, trace: Iterator[UOp]) -> None:
         """Connect the dynamic instruction source."""
         self._trace = trace
+
+    def set_cycle_tracer(self, tracer) -> None:
+        """Attach (or with ``None`` detach) an observation-only cycle hook.
+
+        The tracer's ``snap(pipe)`` runs once per cycle and ``event(...)``
+        at flushes; it must only *read* pipeline state (see
+        :class:`repro.obs.cycletrace.CycleTracer`), which keeps traced
+        runs bit-identical to untraced ones.
+        """
+        self._ctrace = tracer
 
     def _next_uop(self) -> UOp | None:
         seq = self._fetch_seq
@@ -662,6 +686,11 @@ class Pipeline:
     def _flush(self, reason: str) -> None:
         head = self.rob.head()
         restart_seq = head.seq if head is not None else self._fetch_seq
+        if self._ctrace is not None:
+            self._ctrace.event(
+                self.cycle, "flush", reason=reason, restart_seq=restart_seq,
+                squashed=len(self._inflight),
+            )
         self.rob.clear()
         self._inflight.clear()
         self._waiters.clear()
@@ -762,6 +791,8 @@ class Pipeline:
                 hist.overflow += 1
             if self._ab_buf:
                 self.addr_buffer_busy_cycles += 1
+        if self._ctrace is not None:
+            self._ctrace.snap(self)
         self.cycle = cycle + 1
 
     def reset_stats(self) -> None:
@@ -863,5 +894,5 @@ class Pipeline:
                 self.addr_buffer_busy_cycles / cycles if cycles else 0.0
             ),
             data_violations=len(self.data_violations),
-            extra={"mshr": self.mem.mshr_stats()},
+            extra=build_extra(mshr=self.mem.mshr_stats()),
         )

@@ -72,8 +72,10 @@ from repro.workloads.spec2000 import SPEC2000_PROFILES
 #: memory hierarchy with MSHR merging changed default timings, the key
 #: gained a MemConfig-override field, and sampled runs warm functionally;
 #: 4: sampled-run semantics changed -- warm traffic left the measured
-#: hit/miss statistics and producer distances clamp at window starts)
-CACHE_VERSION = 4
+#: hit/miss statistics and producer distances clamp at window starts;
+#: 5: ``extra`` gained the versioned ``telemetry`` envelope -- cached and
+#: fresh results must agree on layout)
+CACHE_VERSION = 5
 
 
 def current_scale() -> tuple[int, int]:
@@ -503,8 +505,13 @@ def clear_disk_cache() -> CacheClearance:
 
 # -- execution ---------------------------------------------------------------
 
-def run_spec(spec: SimSpec) -> SimResult:
-    """Simulate one spec, no caching (the pure worker body)."""
+def build_spec_pipeline(spec: SimSpec):
+    """``(pipeline, trace)`` for a spec, not yet attached or run.
+
+    The construction half of :func:`run_spec`, split out so
+    instrumenting drivers (:func:`repro.obs.profile.run_profiled`) can
+    hook the pipeline before any cycle executes.
+    """
     if not has_workload(spec.workload):
         raise KeyError(f"unknown workload {spec.workload!r}")
     cfg = spec.cfg
@@ -513,6 +520,12 @@ def run_spec(spec: SimSpec) -> SimResult:
         cfg = replace(base, mem=make_mem_config(spec.mem, base.mem))
     pipe = build_processor(build_lsq(spec.lsq), cfg)
     trace = make_trace(spec.workload, spec.seed)
+    return pipe, trace
+
+
+def run_spec(spec: SimSpec) -> SimResult:
+    """Simulate one spec, no caching (the pure worker body)."""
+    pipe, trace = build_spec_pipeline(spec)
     if spec.sample:
         from repro.trace.sampling import SamplePlan, run_sampled
 
@@ -526,6 +539,24 @@ def run_spec(spec: SimSpec) -> SimResult:
 
 def _pool_worker(spec: SimSpec) -> SimResult:
     return run_spec(spec)
+
+
+def _pool_worker_traced(spec: SimSpec, ctx: dict | None):
+    """Observability-aware worker body: ``(result, spans)``.
+
+    ``ctx`` is the parent's span-context snapshot (run/batch/shard IDs).
+    The worker re-enters it, simulates, and hands its spans back beside
+    the result -- never inside it, so results stay bit-identical whether
+    or not anyone is watching.  With ``ctx=None`` this degrades to
+    :func:`_pool_worker` plus an empty span list.
+    """
+    from repro.obs import spans as _spans
+
+    with _spans.worker_spans(ctx) as captured:
+        with _spans.span("job.simulate", spec=spec.cache_id[:12],
+                         workload=spec.workload):
+            result = run_spec(spec)
+    return result, (captured or [])
 
 
 def resolve_jobs(jobs: int | None) -> int:

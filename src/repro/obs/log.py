@@ -1,0 +1,100 @@
+"""Structured, run-ID-tagged logging for the service and campaign CLIs.
+
+Thin layer over :mod:`logging`: one ``repro`` logger hierarchy, two
+formatters (human text, JSON lines), and automatic identity tags --
+every record picks up the current run/batch/shard from
+:mod:`repro.obs.spans` contextvars, so ``repro serve --log-json`` output
+can be joined against spans and metrics by run ID.
+
+CLI wiring: ``-v`` / ``-q`` map to DEBUG / WARNING via
+:func:`configure`, ``--log-json`` flips the formatter.  Libraries just
+call :func:`get_logger` and log; nothing is emitted until
+:func:`configure` (or standard logging config) installs a handler.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+
+from repro.obs import spans as _spans
+
+_ROOT = "repro"
+_configured = False
+
+
+class ContextFilter(logging.Filter):
+    """Stamp run/batch/shard tags from the ambient span context."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        ctx = _spans.current_context()
+        record.run = ctx.get("run", "-")
+        record.batch = ctx.get("batch", "-")
+        record.shard = ctx.get("shard", "-")
+        return True
+
+
+class TextFormatter(logging.Formatter):
+    def format(self, record: logging.LogRecord) -> str:
+        ts = time.strftime("%H:%M:%S", time.localtime(record.created))
+        run = getattr(record, "run", "-")
+        tag = "" if run == "-" else f" run={run}"
+        base = f"[{ts}] {record.levelname:<7} {record.name}{tag} {record.getMessage()}"
+        if record.exc_info:
+            base += "\n" + self.formatException(record.exc_info)
+        return base
+
+
+class JsonFormatter(logging.Formatter):
+    def format(self, record: logging.LogRecord) -> str:
+        entry = {
+            "ts": round(record.created, 3),
+            "level": record.levelname,
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        for tag in ("run", "batch", "shard"):
+            value = getattr(record, tag, "-")
+            if value != "-":
+                entry[tag] = value
+        if record.exc_info:
+            entry["exc"] = self.formatException(record.exc_info)
+        return json.dumps(entry, separators=(",", ":"))
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``get_logger("serve")``)."""
+    return logging.getLogger(f"{_ROOT}.{name}" if name else _ROOT)
+
+
+def configure(verbosity: int = 0, json_lines: bool = False,
+              stream=None) -> logging.Logger:
+    """Install one stderr handler on the ``repro`` logger.
+
+    ``verbosity``: <0 -> WARNING (``-q``), 0 -> INFO, >0 -> DEBUG
+    (``-v``).  Idempotent -- reconfiguring replaces the handler, so tests
+    and repeated CLI entry points don't stack duplicates.
+    """
+    global _configured
+    root = logging.getLogger(_ROOT)
+    for h in list(root.handlers):
+        root.removeHandler(h)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonFormatter() if json_lines else TextFormatter())
+    handler.addFilter(ContextFilter())
+    root.addHandler(handler)
+    if verbosity < 0:
+        root.setLevel(logging.WARNING)
+    elif verbosity == 0:
+        root.setLevel(logging.INFO)
+    else:
+        root.setLevel(logging.DEBUG)
+    root.propagate = False
+    _configured = True
+    return root
+
+
+def is_configured() -> bool:
+    return _configured

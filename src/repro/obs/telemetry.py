@@ -1,0 +1,70 @@
+"""The versioned ``SimResult.extra["telemetry"]`` schema.
+
+Historically the simulator scattered counter dicts across ``extra``:
+``extra["mshr"]`` from the memory system and ``extra["sampling"]`` from
+the sampled-run driver, each with its own ad-hoc shape.  This module
+folds them into one documented envelope::
+
+    extra["telemetry"] = {
+        "v": 1,                  # schema version
+        "mshr": {...} | None,    # MSHR/memory-system counters
+        "sampling": {...} | None # sampled-run bookkeeping
+    }
+
+The legacy top-level keys are kept as aliases for one release (same
+dict objects, no copies) so existing consumers and stored results keep
+working; :func:`get_telemetry` reads both layouts.  Bumping the shape
+of ``extra`` invalidates result-store entries by construction -- the
+store key includes ``CACHE_VERSION``, which was bumped alongside this
+schema so cache-served and freshly simulated results can never disagree
+on layout.
+"""
+
+from __future__ import annotations
+
+TELEMETRY_VERSION = 1
+
+#: sections the envelope knows about (order = documentation order)
+SECTIONS = ("mshr", "sampling")
+
+
+def build_extra(mshr: dict | None = None, sampling: dict | None = None) -> dict:
+    """Assemble a ``SimResult.extra`` dict in the v1 telemetry layout.
+
+    Legacy aliases (``extra["mshr"]``, ``extra["sampling"]``) point at
+    the *same* section dicts, so mutating through either view stays
+    coherent and the goldens only grow the envelope.
+    """
+    telemetry: dict = {"v": TELEMETRY_VERSION}
+    extra: dict = {}
+    if mshr is not None:
+        telemetry["mshr"] = mshr
+        extra["mshr"] = mshr
+    if sampling is not None:
+        telemetry["sampling"] = sampling
+        extra["sampling"] = sampling
+    extra["telemetry"] = telemetry
+    return extra
+
+
+def get_telemetry(obj) -> dict:
+    """The telemetry envelope from a ``SimResult``, an ``extra`` dict,
+    or a ``to_dict()`` payload -- tolerant of pre-v1 layouts.
+
+    Always returns a dict with at least ``{"v": ...}``; legacy extras
+    (bare ``mshr``/``sampling`` keys, no envelope) are lifted into a
+    v0 envelope without mutating the input.
+    """
+    extra = getattr(obj, "extra", None)
+    if extra is None and isinstance(obj, dict):
+        extra = obj.get("extra", obj)
+    if not isinstance(extra, dict):
+        return {"v": 0}
+    tel = extra.get("telemetry")
+    if isinstance(tel, dict):
+        return tel
+    lifted: dict = {"v": 0}
+    for section in SECTIONS:
+        if isinstance(extra.get(section), dict):
+            lifted[section] = extra[section]
+    return lifted

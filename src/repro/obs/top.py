@@ -1,0 +1,136 @@
+"""``repro top <url>``: a live terminal view of a running service.
+
+Polls ``/v1/stats`` (and, when the service exposes it, ``/v1/metrics``)
+and renders a compact dashboard: admission counters, queue depth,
+in-flight work, store hit-rate, and a sims/sec rate derived from
+successive ``simulated`` deltas.  Pure-stdlib (urllib + ANSI clear);
+``--once`` renders a single frame for scripts and CI smoke tests.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+
+def fetch_json(url: str, timeout: float = 5.0) -> dict:
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return json.loads(resp.read().decode())
+
+
+def fetch_text(url: str, timeout: float = 5.0) -> str | None:
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as resp:
+            return resp.read().decode()
+    except (urllib.error.URLError, OSError):
+        return None
+
+
+def parse_metrics_text(text: str) -> dict[str, float]:
+    """Flat ``{sample_name_with_labels: value}`` view of Prometheus text."""
+    out: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        try:
+            out[name] = float(value)
+        except ValueError:
+            continue
+    return out
+
+
+class RateTracker:
+    """sims/sec (or any counter's rate) from successive polls."""
+
+    def __init__(self) -> None:
+        self._last: tuple[float, float] | None = None
+
+    def update(self, value: float) -> float | None:
+        now = time.monotonic()
+        prev = self._last
+        self._last = (now, value)
+        if prev is None or now <= prev[0]:
+            return None
+        return (value - prev[1]) / (now - prev[0])
+
+
+def hit_rate(stats: dict) -> float | None:
+    """Store+memo hit fraction of all resolved submissions."""
+    hits = stats.get("memo_hits", 0) + stats.get("store_hits", 0)
+    resolved = hits + stats.get("simulated", 0) + stats.get("failed", 0)
+    if not resolved:
+        return None
+    return hits / resolved
+
+
+def render_top(stats: dict, rate: float | None = None,
+               metrics: dict[str, float] | None = None,
+               url: str = "") -> str:
+    """One dashboard frame as a string (no ANSI; caller clears)."""
+    def fmt_rate(r):
+        return f"{r:,.1f}/s" if r is not None else "--"
+
+    hr = hit_rate(stats)
+    pending = stats.get("pending")
+    if pending is None and metrics:
+        pending = metrics.get("repro_service_pending_jobs")
+    lines = [
+        f"repro top {url}".rstrip(),
+        time.strftime("%Y-%m-%d %H:%M:%S"),
+        "",
+        f"  submitted   {stats.get('submitted', 0):>8}    "
+        f"batches     {stats.get('batches', 0):>8}",
+        f"  simulated   {stats.get('simulated', 0):>8}    "
+        f"failed      {stats.get('failed', 0):>8}",
+        f"  memo hits   {stats.get('memo_hits', 0):>8}    "
+        f"store hits  {stats.get('store_hits', 0):>8}",
+        f"  deduped     {stats.get('deduplicated', 0):>8}    "
+        f"rejected    {stats.get('rejected', 0):>8}",
+        "",
+        f"  queue depth  {int(pending) if pending is not None else '--':>7}    "
+        f"sims/sec    {fmt_rate(rate):>8}",
+        f"  hit rate     {f'{hr:.1%}' if hr is not None else '--':>7}",
+    ]
+    if metrics:
+        uptime = metrics.get("repro_service_uptime_seconds")
+        if uptime is not None:
+            lines.append(f"  uptime       {uptime:>6.0f}s")
+    return "\n".join(lines)
+
+
+def top(url: str, interval: float = 1.0, once: bool = False,
+        out=None) -> int:
+    """Poll-and-render loop; returns a process exit code."""
+    import sys
+
+    out = out or sys.stdout
+    base = url.rstrip("/")
+    tracker = RateTracker()
+    rate: float | None = None
+    while True:
+        try:
+            doc = fetch_json(base + "/v1/stats")
+        except (urllib.error.URLError, OSError) as exc:
+            print(f"repro top: cannot reach {base}: {exc}", file=out)
+            return 1
+        # /v1/stats nests the admission counters under "stats"; flatten
+        # and keep the top-level extras (pending, phase) render_top reads
+        stats = {**doc, **doc.get("stats", {})}
+        text = fetch_text(base + "/v1/metrics")
+        metrics = parse_metrics_text(text) if text else None
+        new_rate = tracker.update(stats.get("simulated", 0))
+        if new_rate is not None:
+            rate = new_rate
+        frame = render_top(stats, rate=rate, metrics=metrics, url=base)
+        if once:
+            print(frame, file=out)
+            return 0
+        out.write("\x1b[2J\x1b[H" + frame + "\n")
+        out.flush()
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:
+            return 0

@@ -67,6 +67,17 @@ class ServiceClient:
     def stats(self) -> dict:
         return self._request("GET", "/v1/stats")
 
+    def metrics(self) -> str:
+        """The raw Prometheus text from ``GET /v1/metrics``."""
+        req = urllib.request.Request(self.base_url + "/v1/metrics")
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return resp.read().decode()
+        except urllib.error.HTTPError as e:
+            raise ServiceClientError(e.code, str(e)) from None
+        except urllib.error.URLError as e:
+            raise ServiceClientError(0, f"cannot reach {self.base_url}: {e.reason}") from None
+
     def submit(self, specs) -> dict:
         """Submit a batch of ``SimSpec`` objects (or ready wire docs)."""
         from repro.service.wire import spec_to_doc

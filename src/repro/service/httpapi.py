@@ -5,13 +5,18 @@ under ``/v1``)::
 
     GET  /v1/health                  liveness + lifecycle phase
     GET  /v1/stats                   admission/dedup counters + store info
+    GET  /v1/metrics                 Prometheus text exposition of the
+                                     service's metrics registry
     POST /v1/batch                   submit {"specs": [<spec doc>, ...]}
                                      -> 202 {"batch": id, "jobs": [...]}
     GET  /v1/batch/<id>              batch status document
     GET  /v1/batch/<id>/results      block (optional ?timeout=s) then
                                      return results in submission order
     GET  /v1/batch/<id>/stream       newline-delimited JSON progress
-                                     events until the batch completes
+                                     events until the batch completes;
+                                     periodic {"event": "heartbeat"}
+                                     frames carry queue depth, in-flight
+                                     count, store hit-rate and sims/sec
     GET  /v1/result/<cache_id>       one result by content address
                                      (finished jobs, then the store)
     POST /v1/cache/clear             clear the store; CacheClearance body
@@ -40,6 +45,8 @@ from repro.service.wire import specs_from_docs
 
 #: progress-stream poll interval (seconds); events are emitted on change
 _STREAM_POLL = 0.05
+#: seconds between heartbeat frames on /v1/batch/<id>/stream
+_HEARTBEAT_EVERY = 0.5
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
@@ -115,6 +122,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(200, {"ok": True, "phase": self.service.phase})
             elif parts == ["v1", "stats"]:
                 self._send_json(200, self.service.describe())
+            elif parts == ["v1", "metrics"]:
+                self._send_metrics()
             elif len(parts) == 3 and parts[:2] == ["v1", "batch"]:
                 self._get_batch(parts[2])
             elif len(parts) == 4 and parts[:2] == ["v1", "batch"] and parts[3] == "results":
@@ -144,6 +153,15 @@ class _Handler(BaseHTTPRequestHandler):
             pass
 
     # -- endpoints -----------------------------------------------------------
+
+    def _send_metrics(self) -> None:
+        body = self.service.registry.render_text().encode()
+        self.send_response(200)
+        # the Prometheus text exposition content type, version 0.0.4
+        self.send_header("Content-Type", "text/plain; version=0.0.4")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
 
     def _post_batch(self) -> None:
         try:
@@ -212,6 +230,10 @@ class _Handler(BaseHTTPRequestHandler):
 
         last: dict[str, str] = {}
         deadline = time.monotonic() + timeout
+        # the first heartbeat goes out unconditionally (before any job
+        # event), so even a batch that completes within one poll gets one
+        hb_state = self._emit_heartbeat(emit, batch, None)
+        next_hb = time.monotonic() + _HEARTBEAT_EVERY
         while True:
             for job in batch.jobs:
                 state = job.describe()
@@ -223,11 +245,36 @@ class _Handler(BaseHTTPRequestHandler):
                       "stats": self.service.stats.snapshot()})
                 self.close_connection = True
                 return
-            if time.monotonic() > deadline:
+            now = time.monotonic()
+            if now >= next_hb:
+                hb_state = self._emit_heartbeat(emit, batch, hb_state)
+                next_hb = now + _HEARTBEAT_EVERY
+            if now > deadline:
                 emit({"event": "timeout", "batch": batch_id})
                 self.close_connection = True
                 return
             time.sleep(_STREAM_POLL)
+
+    def _emit_heartbeat(self, emit, batch, prev: tuple | None) -> tuple:
+        """Emit one heartbeat frame; returns the (t, simulated) anchor
+        the next frame derives its sims/sec from (None on the first)."""
+        stats = self.service.stats.snapshot()
+        now = time.monotonic()
+        rate = None
+        if prev is not None and now > prev[0]:
+            rate = (stats["simulated"] - prev[1]) / (now - prev[0])
+        hits = stats["memo_hits"] + stats["store_hits"]
+        resolved = hits + stats["simulated"] + stats["failed"]
+        emit({
+            "event": "heartbeat",
+            "batch": batch.batch_id,
+            "queue_depth": self.service.pending(),
+            "inflight": sum(1 for j in batch.jobs if j.state == "running"),
+            "store_hit_rate": (hits / resolved) if resolved else None,
+            "simulated": stats["simulated"],
+            "sims_per_sec": rate,
+        })
+        return (now, stats["simulated"])
 
     def _get_result(self, cache_id: str) -> None:
         result = self.service.result_by_address(cache_id)

@@ -45,7 +45,16 @@ from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.core.pipeline import SimResult
-from repro.service.store import CacheConfig, ResultStore, build_store
+from repro.obs import spans as _spans
+from repro.obs.metrics import DURATION_BUCKETS, MetricsRegistry
+from repro.service.store import (
+    CacheConfig,
+    InstrumentedStore,
+    ResultStore,
+    build_store,
+)
+
+import repro.obs as _obs
 
 #: legal lifecycle phases, in order
 PHASES = ("created", "run", "analysis", "teardown")
@@ -87,8 +96,10 @@ class Job:
     result: SimResult | None = None
     error: str | None = None
     exception: BaseException | None = None
+    batch_id: str | None = None  #: batch that first admitted this job
     _event: threading.Event = field(default_factory=threading.Event, repr=False)
     _claimed: bool = field(default=False, repr=False)
+    _t0: float | None = field(default=None, repr=False)  # execution start
 
     def done(self) -> bool:
         return self.state in ("done", "failed")
@@ -143,25 +154,65 @@ def _monotonic() -> float:
     return time.monotonic()
 
 
-@dataclass
 class ServiceStats:
-    """Monotonic admission/dedup counters (the HTTP ``/v1/stats`` body)."""
+    """Monotonic admission/dedup counters (the HTTP ``/v1/stats`` body).
 
-    submitted: int = 0  #: specs received by submit()
-    batches: int = 0
-    memo_hits: int = 0  #: served from this session's memo
-    store_hits: int = 0  #: served from the result store
-    dedup_inflight: int = 0  #: joined an identical queued/running job
-    dedup_batch: int = 0  #: duplicate of an earlier spec in the same batch
-    simulated: int = 0  #: jobs actually executed
-    failed: int = 0
-    rejected: int = 0  #: specs refused by admission control
+    Each field is a property over a :class:`~repro.obs.metrics.Counter`
+    on the service's :class:`~repro.obs.metrics.MetricsRegistry` -- the
+    same objects ``/v1/metrics`` renders, so the JSON stats endpoint and
+    the Prometheus endpoint are *defined once* and cannot drift.  The
+    historical mutation idiom (``stats.simulated += 1``) keeps working:
+    the property setter forwards the new running total to the counter.
+    """
+
+    #: field -> (metric name, help); declaration order = snapshot order
+    FIELDS = {
+        "submitted": ("repro_service_submitted_total",
+                      "Specs received by submit()"),
+        "batches": ("repro_service_batches_total", "Batches admitted"),
+        "memo_hits": ("repro_service_memo_hits_total",
+                      "Specs served from this session's memo"),
+        "store_hits": ("repro_service_store_hits_total",
+                       "Specs served from the result store"),
+        "dedup_inflight": ("repro_service_dedup_inflight_total",
+                           "Specs that joined an identical in-flight job"),
+        "dedup_batch": ("repro_service_dedup_batch_total",
+                        "Specs duplicating an earlier spec in their batch"),
+        "simulated": ("repro_service_simulated_total",
+                      "Jobs actually executed"),
+        "failed": ("repro_service_failed_total", "Jobs that raised"),
+        "rejected": ("repro_service_rejected_total",
+                     "Specs refused by admission control"),
+    }
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._counters = {
+            fname: self.registry.counter(mname, mhelp)
+            for fname, (mname, mhelp) in self.FIELDS.items()
+        }
 
     def snapshot(self) -> dict:
-        d = dict(self.__dict__)
+        d = {fname: int(c.value) for fname, c in self._counters.items()}
         # one headline number for "how many submissions cost nothing"
-        d["deduplicated"] = self.dedup_inflight + self.dedup_batch
+        d["deduplicated"] = d["dedup_inflight"] + d["dedup_batch"]
         return d
+
+
+def _stats_property(fname: str) -> property:
+    def _get(self) -> int:
+        return int(self._counters[fname].value)
+
+    def _set(self, total: int) -> None:
+        # `stats.field += n` reads then assigns the new running total
+        self._counters[fname].set_total(total)
+
+    return property(_get, _set)
+
+
+for _fname in ServiceStats.FIELDS:
+    setattr(ServiceStats, _fname, _stats_property(_fname))
+del _fname
 
 
 class SimService:
@@ -187,6 +238,7 @@ class SimService:
         backend: str = "process",
         max_pending: int | None = None,
         memo: dict | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if store is not None and cache is not None:
             raise ValueError("pass either a store or a CacheConfig, not both")
@@ -197,12 +249,37 @@ class SimService:
             store = build_store(cache if cache is not None else CacheConfig.from_env())
             if cache is None:
                 self.cache_config = CacheConfig.from_env()
-        self.store = store
         self.jobs = jobs
         self.backend = backend
         self.max_pending = max_pending
         self.phase = "created"
-        self.stats = ServiceStats()
+        # per-service registry (not the process default): parallel test
+        # services must not collide on metric names, and /v1/metrics
+        # should describe exactly one service
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.stats = ServiceStats(self.registry)
+        # every store access flows through the instrumented proxy so
+        # /v1/metrics sees hit/miss counts and latencies; re-wrapping a
+        # handed-down proxy would double-count, so unwrap first
+        if isinstance(store, InstrumentedStore):
+            store = store._inner
+        self.store = InstrumentedStore(store, self.registry)
+        self._created_monotonic = _monotonic()
+        self.registry.gauge(
+            "repro_service_pending_jobs",
+            "Queued + running jobs (the admission-control gauge)",
+            fn=self.pending,
+        )
+        self.registry.gauge(
+            "repro_service_uptime_seconds",
+            "Seconds since the service object was created",
+            fn=lambda: _monotonic() - self._created_monotonic,
+        )
+        self._job_seconds = self.registry.histogram(
+            "repro_service_job_seconds",
+            "Wall-clock seconds per executed job (simulated and failed)",
+            buckets=DURATION_BUCKETS,
+        )
         self._memo: dict[tuple, SimResult] = memo if memo is not None else {}
         self._inflight: dict[tuple, Job] = {}
         self._jobs_by_id: dict[str, Job] = {}
@@ -220,10 +297,11 @@ class SimService:
                 return self
             if self.phase != "created":
                 raise PhaseError(f"cannot stand up from phase {self.phase!r}")
-            if self.jobs is not None and self.backend != "inline":
-                n = _runner().resolve_jobs(self.jobs)
-                self._shards = [self._make_executor() for _ in range(n)]
-            self.phase = "run"
+            with _spans.span("service.standup", backend=self.backend):
+                if self.jobs is not None and self.backend != "inline":
+                    n = _runner().resolve_jobs(self.jobs)
+                    self._shards = [self._make_executor() for _ in range(n)]
+                self.phase = "run"
         return self
 
     def analysis(self) -> "SimService":
@@ -231,7 +309,8 @@ class SimService:
         with self._lock:
             if self.phase != "run":
                 raise PhaseError(f"cannot enter analysis from phase {self.phase!r}")
-            self.phase = "analysis"
+            with _spans.span("service.analysis"):
+                self.phase = "analysis"
         return self
 
     def teardown(self) -> None:
@@ -241,8 +320,9 @@ class SimService:
                 return
             shards, self._shards = self._shards, None
             self.phase = "teardown"
-        for ex in shards or ():
-            ex.shutdown(wait=True)
+        with _spans.span("service.teardown", shards=len(shards or ())):
+            for ex in shards or ():
+                ex.shutdown(wait=True)
         with self._lock:
             # anything still queued after the pools drained can never run
             for job in list(self._inflight.values()):
@@ -311,13 +391,16 @@ class SimService:
                         f"geometries ({live.spec.lsq} vs {spec.lsq}); machine keys "
                         "must uniquely identify the machine"
                     )
-            jobs = self._admit_locked(specs, keys)
-            batch = Batch(batch_id=f"b{next(self._batch_seq)}", jobs=jobs)
+            batch_id = f"b{next(self._batch_seq)}"
+            with _spans.span("service.admission", batch=batch_id,
+                             specs=len(specs)):
+                jobs = self._admit_locked(specs, keys, batch_id)
+            batch = Batch(batch_id=batch_id, jobs=jobs)
             self._batches[batch.batch_id] = batch
             self.stats.batches += 1
         return batch
 
-    def _admit_locked(self, specs, keys) -> list[Job]:
+    def _admit_locked(self, specs, keys, batch_id: str | None = None) -> list[Job]:
         stats = self.stats
         stats.submitted += len(specs)
         # resolution pass: classify every spec WITHOUT mutating any state,
@@ -325,23 +408,24 @@ class SimService:
         first_kind: dict[tuple, str] = {}
         store_hits: dict[tuple, SimResult] = {}
         resolution: list[str] = []  # per-spec kind; "dup" = earlier in batch
-        for key in keys:
-            if key in first_kind:
-                resolution.append("dup")
-                continue
-            if key in self._memo:
-                kind = "memo"
-            elif key in self._inflight:
-                kind = "inflight"
-            else:
-                hit = self.store.get(key)
-                if hit is not None:
-                    kind = "store"
-                    store_hits[key] = hit
+        with _spans.span("service.lookup", batch=batch_id):
+            for key in keys:
+                if key in first_kind:
+                    resolution.append("dup")
+                    continue
+                if key in self._memo:
+                    kind = "memo"
+                elif key in self._inflight:
+                    kind = "inflight"
                 else:
-                    kind = "new"
-            first_kind[key] = kind
-            resolution.append(kind)
+                    hit = self.store.get(key)
+                    if hit is not None:
+                        kind = "store"
+                        store_hits[key] = hit
+                    else:
+                        kind = "new"
+                first_kind[key] = kind
+                resolution.append(kind)
         fresh = [k for k, kind in first_kind.items() if kind == "new"]
         if fresh and self.phase == "analysis":
             stats.rejected += len(specs)
@@ -377,7 +461,8 @@ class SimService:
                 job = self._inflight[key]
                 stats.dedup_inflight += 1
             else:
-                job = Job(spec=spec, key=key, cache_id=spec.cache_id)
+                job = Job(spec=spec, key=key, cache_id=spec.cache_id,
+                          batch_id=batch_id)
                 self._inflight[key] = job
                 new_jobs.append(job)
             batch_jobs.setdefault(key, job)
@@ -396,16 +481,48 @@ class SimService:
 
     # -- execution -----------------------------------------------------------
 
+    def _worker_ctx(self, job: Job, shard_idx: int) -> dict | None:
+        """Span context to ship into a pool worker, or None when obs is off.
+
+        A non-None context is also the worker's opt-in signal: the traced
+        worker body re-enters it and hands its spans back *beside* the
+        result (never inside it -- results stay bit-identical).
+        """
+        if not _obs.enabled():
+            return None
+        return {"run": job.cache_id[:12], "batch": job.batch_id,
+                "shard": shard_idx}
+
     def _schedule_locked(self, job: Job) -> None:
         job._claimed = True
         job.state = "running"
+        job._t0 = _monotonic()
         self.stats.simulated += 1
-        shard = self._shards[int(job.cache_id[:8], 16) % len(self._shards)]
-        if self.backend == "thread":
-            future = shard.submit(lambda spec=job.spec: _runner().run_spec(spec))
-        else:
-            future = shard.submit(_runner()._pool_worker, job.spec)
+        shard_idx = int(job.cache_id[:8], 16) % len(self._shards)
+        shard = self._shards[shard_idx]
+        with _spans.span("service.dispatch", run=job.cache_id[:12],
+                         shard=shard_idx):
+            ctx = self._worker_ctx(job, shard_idx)
+            if self.backend == "thread":
+                future = shard.submit(
+                    lambda spec=job.spec, c=ctx:
+                    _runner()._pool_worker_traced(spec, c) if c is not None
+                    else _runner().run_spec(spec))
+            elif ctx is not None:
+                future = shard.submit(_runner()._pool_worker_traced, job.spec, ctx)
+            else:
+                future = shard.submit(_runner()._pool_worker, job.spec)
         future.add_done_callback(lambda f, job=job: self._on_future(job, f))
+
+    @staticmethod
+    def _unpack_worker(out):
+        """Accept both worker shapes: SimResult, or (SimResult, spans)."""
+        if isinstance(out, tuple):
+            result, wspans = out
+            for s in wspans:
+                _spans.SPANS.add(s)
+            return result
+        return out
 
     def _on_future(self, job: Job, future) -> None:
         exc = future.exception()
@@ -413,7 +530,12 @@ class SimService:
             with self._lock:
                 self._fail(job, exc)
         else:
-            self._finish(job, future.result())
+            self._finish(job, self._unpack_worker(future.result()))
+
+    def _observe_job(self, job: Job) -> None:
+        if job._t0 is not None:
+            self._job_seconds.observe(_monotonic() - job._t0)
+            job._t0 = None
 
     def _finish(self, job: Job, result: SimResult) -> None:
         with self._lock:
@@ -422,6 +544,7 @@ class SimService:
             job.source = job.source or "simulated"
             self._memo[job.key] = result
             self._inflight.pop(job.key, None)
+            self._observe_job(job)
         self.store.put(job.key, result)
         job._event.set()
 
@@ -431,13 +554,17 @@ class SimService:
         job.state = "failed"
         self.stats.failed += 1
         self._inflight.pop(job.key, None)  # a later submit may retry
+        self._observe_job(job)
         job._event.set()
 
     def _run_inline(self, job: Job) -> None:
         job.state = "running"
+        job._t0 = _monotonic()
         self.stats.simulated += 1
         try:
-            result = _runner().run_spec(job.spec)
+            with _spans.span("job.simulate", spec=job.cache_id[:12],
+                             workload=job.spec.workload):
+                result = _runner().run_spec(job.spec)
         except BaseException as exc:
             with self._lock:
                 self._fail(job, exc)
@@ -478,11 +605,19 @@ class SimService:
                 futures = []
                 for job in mine:
                     job.state = "running"
+                    job._t0 = _monotonic()
                     self.stats.simulated += 1
-                    shard = shards[int(job.cache_id[:8], 16) % len(shards)]
+                    shard_idx = int(job.cache_id[:8], 16) % len(shards)
+                    shard = shards[shard_idx]
+                    ctx = self._worker_ctx(job, shard_idx)
                     if self.backend == "thread":
                         futures.append(shard.submit(
-                            lambda spec=job.spec: _runner().run_spec(spec)))
+                            lambda spec=job.spec, c=ctx:
+                            _runner()._pool_worker_traced(spec, c)
+                            if c is not None else _runner().run_spec(spec)))
+                    elif ctx is not None:
+                        futures.append(shard.submit(
+                            runner._pool_worker_traced, job.spec, ctx))
                     else:
                         futures.append(shard.submit(runner._pool_worker, job.spec))
                 for job, future in zip(mine, futures):
@@ -491,7 +626,7 @@ class SimService:
                         with self._lock:
                             self._fail(job, exc)
                     else:
-                        self._finish(job, future.result())
+                        self._finish(job, self._unpack_worker(future.result()))
             finally:
                 for ex in shards:
                     ex.shutdown(wait=True)
@@ -526,7 +661,7 @@ class SimService:
     def rebind_store(self, cache: CacheConfig) -> None:
         """Swap the result store (the env-following default session)."""
         with self._lock:
-            self.store = build_store(cache)
+            self.store = InstrumentedStore(build_store(cache), self.registry)
             self.cache_config = cache
 
     def describe(self) -> dict:

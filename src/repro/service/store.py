@@ -420,3 +420,80 @@ def build_store(config: CacheConfig) -> ResultStore:
     if config.backend == "memory":
         return MemoryStore()
     return LocalDirStore(config.resolved_dir())
+
+
+class InstrumentedStore(ResultStore):
+    """Delegating proxy that counts and times store traffic.
+
+    Wraps any :class:`ResultStore` and records ``get``/``put`` calls
+    (with hit/miss outcome and duration histograms) against a
+    :class:`~repro.obs.metrics.MetricsRegistry` -- the service wraps its
+    store with one of these so ``/v1/metrics`` exposes store behaviour
+    without the store classes knowing about metrics.  Every other
+    attribute (``backend``, ``directory``, ``info``, ``clear``, ...)
+    delegates to the wrapped store.
+    """
+
+    def __init__(self, inner: ResultStore, registry) -> None:
+        self._inner = inner
+
+        def metric(kind: str, name: str, help: str, **kw):
+            # a rebound store re-instruments against the same registry;
+            # the replacement proxy must adopt the existing metrics
+            got = registry.get(name)
+            return got if got is not None else getattr(registry, kind)(
+                name, help, **kw)
+
+        self._gets = metric(
+            "counter", "repro_store_get_total", "Store lookups by outcome",
+            labelnames=("outcome",))
+        self._puts = metric(
+            "counter", "repro_store_put_total", "Results written to the store")
+        self._get_seconds = metric(
+            "histogram", "repro_store_get_seconds", "Store lookup latency")
+        self._put_seconds = metric(
+            "histogram", "repro_store_put_seconds", "Store write latency")
+
+    def unwrap(self) -> ResultStore:
+        """The store behind the proxy (for type checks and tests)."""
+        return self._inner
+
+    def get(self, key: tuple) -> SimResult | None:
+        import time
+
+        t0 = time.perf_counter()
+        hit = self._inner.get(key)
+        self._get_seconds.observe(time.perf_counter() - t0)
+        self._gets.labels(outcome="hit" if hit is not None else "miss").inc()
+        return hit
+
+    def put(self, key: tuple, result: SimResult) -> None:
+        import time
+
+        t0 = time.perf_counter()
+        self._inner.put(key, result)
+        self._put_seconds.observe(time.perf_counter() - t0)
+        self._puts.inc()
+
+    def get_by_address(self, address: str) -> SimResult | None:
+        return self._inner.get_by_address(address)
+
+    def clear(self) -> CacheClearance:
+        return self._inner.clear()
+
+    def info(self) -> StoreInfo:
+        return self._inner.info()
+
+    def path_for(self, key: tuple) -> str | None:
+        return self._inner.path_for(key)
+
+    def addresses(self) -> Iterator[str]:
+        return self._inner.addresses()
+
+    @property
+    def backend(self) -> str:
+        return self._inner.backend
+
+    def __getattr__(self, name: str):
+        # anything else (e.g. LocalDirStore.directory): transparent proxy
+        return getattr(self._inner, name)

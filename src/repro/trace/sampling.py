@@ -71,6 +71,8 @@ from typing import Iterable, Iterator
 
 from repro.core.pipeline import Pipeline, SimResult
 from repro.isa.uop import UOp
+from repro.obs import spans as _spans
+from repro.obs.telemetry import build_extra
 
 
 @dataclass(frozen=True)
@@ -361,7 +363,7 @@ def _merge(windows: list[SimResult], plan: SamplePlan, stream: SampledStream,
         shared_occupancy_p99=max((r.shared_occupancy_p99 for r in windows), default=0),
         addr_buffer_busy_frac=cw(lambda r: r.addr_buffer_busy_frac),
         data_violations=sum(r.data_violations for r in windows),
-        extra={"mshr": mshr, "sampling": sampling},
+        extra=build_extra(mshr=mshr, sampling=sampling),
     )
 
 
@@ -401,7 +403,15 @@ def run_sampled(
             # pipe.run only resets statistics on a non-zero warmup; a
             # zero-warmup window must still start its counters fresh
             pipe.reset_stats()
-        r = pipe.run(want, warmup=plan.warmup)
+        # one span per detailed window (warm gaps drain inside run() via
+        # the stream); span() is a no-op unless observability is on, and
+        # windows are thousands of instructions, so the disabled cost is
+        # one enabled() check per window
+        with _spans.span(
+            "sample.window", index=len(windows),
+            engine=engine.name if engine is not None else "none",
+        ):
+            r = pipe.run(want, warmup=plan.warmup)
         got = pipe.committed - before
         if r.instructions > 0:
             windows.append(r)

@@ -1,0 +1,144 @@
+"""/v1/metrics, heartbeat frames, and the `repro top` dashboard."""
+
+from __future__ import annotations
+
+import io
+import json
+import urllib.request
+
+import pytest
+
+from repro.experiments.runner import MACHINE_SAMIE, SimSpec
+from repro.obs.top import RateTracker, hit_rate, parse_metrics_text, render_top, top
+from repro.service.client import ServiceClient
+from repro.service.httpapi import ServiceHTTPServer
+from repro.service.session import SimService
+from repro.service.store import MemoryStore
+
+SMALL = dict(instructions=400, warmup=100)
+
+
+def _spec(workload="gzip", **kw):
+    return SimSpec.make(workload, MACHINE_SAMIE, **SMALL, **kw)
+
+
+@pytest.fixture()
+def served():
+    service = SimService(store=MemoryStore(), jobs=2, backend="thread")
+    service.standup()
+    server = ServiceHTTPServer(service, port=0)
+    server.start_background()
+    try:
+        yield service, server, ServiceClient(server.url, timeout=30)
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.teardown()
+
+
+class TestMetricsEndpoint:
+    def test_metrics_agree_with_stats(self, served):
+        service, server, client = served
+        client.run_many([_spec(), _spec("swim"), _spec()])  # one dedup
+        text = client.metrics()
+        metrics = parse_metrics_text(text)
+        stats = service.stats.snapshot()
+        assert metrics["repro_service_submitted_total"] == stats["submitted"]
+        assert metrics["repro_service_simulated_total"] == stats["simulated"]
+        assert metrics["repro_service_dedup_batch_total"] == stats["dedup_batch"]
+        assert metrics["repro_service_pending_jobs"] == 0
+        # every simulation went through the instrumented store
+        assert metrics['repro_store_get_total{outcome="miss"}'] == 2
+        assert metrics["repro_service_job_seconds_count"] == 2
+
+    def test_content_type_is_prometheus_text(self, served):
+        _, server, _ = served
+        with urllib.request.urlopen(server.url + "/v1/metrics") as resp:
+            assert resp.headers["Content-Type"] == "text/plain; version=0.0.4"
+            body = resp.read().decode()
+        assert "# TYPE repro_service_submitted_total counter" in body
+        assert "# TYPE repro_service_job_seconds histogram" in body
+
+    def test_store_hits_counted(self, served):
+        service, _, client = served
+        client.run_many([_spec()])
+        service._memo.clear()  # force the second pass to the store
+        client.run_many([_spec()])
+        metrics = parse_metrics_text(client.metrics())
+        assert metrics['repro_store_get_total{outcome="hit"}'] >= 1
+
+
+class TestHeartbeat:
+    def test_stream_always_leads_with_a_heartbeat(self, served):
+        _, _, client = served
+        batch = client.submit([_spec(), _spec("swim")])
+        events = list(client.stream(batch["batch"], timeout=60))
+        assert events[0]["event"] == "heartbeat"
+        hb = events[0]
+        assert hb["batch"] == batch["batch"]
+        assert set(hb) >= {"queue_depth", "inflight", "store_hit_rate",
+                           "simulated", "sims_per_sec"}
+        assert events[-1]["event"] == "done"
+
+    def test_heartbeat_hit_rate_reflects_resolutions(self, served):
+        _, _, client = served
+        client.run_many([_spec()])
+        batch = client.submit([_spec()])  # memo hit: resolved before stream
+        events = list(client.stream(batch["batch"], timeout=60))
+        hb = events[0]
+        assert hb["store_hit_rate"] == pytest.approx(0.5)
+
+
+class TestTop:
+    def test_parse_metrics_text(self):
+        text = ('# HELP x y\n# TYPE x counter\nx 3\n'
+                'h_bucket{le="+Inf"} 2\nbad_line\n')
+        parsed = parse_metrics_text(text)
+        assert parsed["x"] == 3.0
+        assert parsed['h_bucket{le="+Inf"}'] == 2.0
+
+    def test_hit_rate(self):
+        assert hit_rate({}) is None
+        assert hit_rate({"memo_hits": 1, "store_hits": 1,
+                         "simulated": 2}) == pytest.approx(0.5)
+
+    def test_rate_tracker(self):
+        t = RateTracker()
+        assert t.update(0) is None
+        assert t.update(10) is not None
+
+    def test_render_top_lists_counters(self):
+        frame = render_top({"submitted": 7, "simulated": 3, "pending": 1},
+                           rate=2.0, url="http://x")
+        assert "repro top http://x" in frame
+        assert "submitted          7" in frame
+        assert "2.0/s" in frame
+
+    def test_top_once_against_live_service(self, served):
+        _, server, client = served
+        client.run_many([_spec()])
+        out = io.StringIO()
+        assert top(server.url, once=True, out=out) == 0
+        frame = out.getvalue()
+        assert "submitted" in frame
+        assert "simulated          1" in frame
+
+    def test_top_unreachable_returns_error(self):
+        out = io.StringIO()
+        assert top("http://127.0.0.1:9", once=True, out=out) == 1
+        assert "cannot reach" in out.getvalue()
+
+
+class TestStatsShapeUnchanged:
+    def test_describe_keeps_the_v1_stats_contract(self, served):
+        service, server, client = served
+        client.run_many([_spec()])
+        with urllib.request.urlopen(server.url + "/v1/stats") as resp:
+            doc = json.loads(resp.read())
+        stats = doc["stats"]
+        assert set(stats) == {
+            "submitted", "batches", "memo_hits", "store_hits",
+            "dedup_inflight", "dedup_batch", "simulated", "failed",
+            "rejected", "deduplicated",
+        }
+        assert all(isinstance(v, int) for v in stats.values())

@@ -1,0 +1,83 @@
+"""Structured logging: formatters, idempotent configure, identity tags."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs import log as obs_log
+from repro.obs import spans
+
+
+@pytest.fixture(autouse=True)
+def _clean_logging():
+    spans.clear_context()
+    yield
+    spans.clear_context()
+    root = logging.getLogger("repro")
+    for h in list(root.handlers):
+        root.removeHandler(h)
+
+
+class TestConfigure:
+    def test_idempotent_no_handler_stacking(self):
+        obs_log.configure()
+        obs_log.configure()
+        obs_log.configure()
+        assert len(logging.getLogger("repro").handlers) == 1
+        assert obs_log.is_configured()
+
+    def test_verbosity_mapping(self):
+        root = obs_log.configure(verbosity=-1)
+        assert root.level == logging.WARNING
+        assert obs_log.configure(verbosity=0).level == logging.INFO
+        assert obs_log.configure(verbosity=2).level == logging.DEBUG
+
+    def test_no_propagation_to_the_root_logger(self):
+        assert obs_log.configure().propagate is False
+
+
+class TestTextFormat:
+    def test_human_line_with_run_tag(self):
+        buf = io.StringIO()
+        obs_log.configure(stream=buf)
+        spans.set_context(run="abc123def456")
+        obs_log.get_logger("serve").info("serving on %s", "http://h:1")
+        line = buf.getvalue().strip()
+        assert "INFO" in line
+        assert "repro.serve" in line
+        assert "run=abc123def456" in line
+        assert line.endswith("serving on http://h:1")
+
+    def test_untagged_records_omit_the_run_field(self):
+        buf = io.StringIO()
+        obs_log.configure(stream=buf)
+        obs_log.get_logger("serve").info("hello")
+        assert "run=" not in buf.getvalue()
+
+
+class TestJsonFormat:
+    def test_json_lines_carry_identity(self):
+        buf = io.StringIO()
+        obs_log.configure(json_lines=True, stream=buf)
+        spans.set_context(run="r1", batch="b1", shard=4)
+        obs_log.get_logger("serve").warning("queue full: %d", 9)
+        doc = json.loads(buf.getvalue())
+        assert doc["level"] == "WARNING"
+        assert doc["logger"] == "repro.serve"
+        assert doc["msg"] == "queue full: 9"
+        assert (doc["run"], doc["batch"], doc["shard"]) == ("r1", "b1", 4)
+        assert isinstance(doc["ts"], float)
+
+    def test_exceptions_serialized(self):
+        buf = io.StringIO()
+        obs_log.configure(json_lines=True, stream=buf)
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            obs_log.get_logger().exception("failed")
+        doc = json.loads(buf.getvalue())
+        assert "RuntimeError: boom" in doc["exc"]

@@ -1,0 +1,67 @@
+"""The versioned extra["telemetry"] envelope and its legacy aliases."""
+
+from __future__ import annotations
+
+from repro.core.processor import build_processor
+from repro.experiments.runner import build_lsq, lsq_spec
+from repro.obs.telemetry import TELEMETRY_VERSION, build_extra, get_telemetry
+from repro.workloads.registry import make_trace
+
+
+class TestBuildExtra:
+    def test_envelope_and_aliases(self):
+        mshr = {"allocations": 3}
+        sampling = {"windows": 2}
+        extra = build_extra(mshr=mshr, sampling=sampling)
+        env = extra["telemetry"]
+        assert env["v"] == TELEMETRY_VERSION == 1
+        # the legacy top-level keys alias the SAME objects -- a writer
+        # updating extra["sampling"] in place stays coherent
+        assert extra["mshr"] is env["mshr"]
+        assert extra["sampling"] is env["sampling"]
+        extra["sampling"]["added_later"] = True
+        assert env["sampling"]["added_later"] is True
+
+    def test_sections_optional(self):
+        extra = build_extra(mshr={"a": 1})
+        assert "sampling" not in extra
+        assert "sampling" not in extra["telemetry"]
+        assert extra["telemetry"]["mshr"] == {"a": 1}
+
+
+class TestGetTelemetry:
+    def test_reads_the_envelope(self):
+        extra = build_extra(mshr={"a": 1})
+        assert get_telemetry(extra)["v"] == 1
+
+    def test_lifts_legacy_extras_as_v0(self):
+        legacy = {"mshr": {"a": 1}, "sampling": {"w": 2}}
+        env = get_telemetry(legacy)
+        assert env["v"] == 0
+        assert env["mshr"] == {"a": 1}
+        assert env["sampling"] == {"w": 2}
+
+    def test_empty(self):
+        assert get_telemetry({})["v"] == 0
+        assert get_telemetry(None)["v"] == 0
+
+
+class TestSimResultTelemetry:
+    def test_result_carries_envelope_and_accessor(self):
+        pipe = build_processor(build_lsq(lsq_spec("samie")))
+        pipe.attach_trace(make_trace("gzip", seed=1))
+        result = pipe.run(400, warmup=100)
+        env = result.telemetry()
+        assert env["v"] == 1
+        assert result.extra["mshr"] is env["mshr"]
+        assert "d_allocations" in env["mshr"]
+
+    def test_round_trip_through_to_dict(self):
+        from repro.core.pipeline import SimResult
+
+        pipe = build_processor(build_lsq(lsq_spec("samie")))
+        pipe.attach_trace(make_trace("gzip", seed=1))
+        result = pipe.run(400, warmup=100)
+        clone = SimResult.from_dict(result.to_dict())
+        assert clone.telemetry()["v"] == 1
+        assert clone.to_dict() == result.to_dict()

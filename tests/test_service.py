@@ -331,7 +331,9 @@ class TestFacades:
         spec = _spec()
         runner.run_many([spec], jobs=1)
         store = runner.default_session().store
-        assert isinstance(store, LocalDirStore)
+        # the session wraps its store in the instrumented proxy; the
+        # configured backend sits one unwrap below
+        assert isinstance(store.unwrap(), LocalDirStore)
         assert store.get(spec.key) is not None
         # flipping the env rebinds the default session's store...
         monkeypatch.setenv("REPRO_CACHE", "0")
