@@ -119,12 +119,18 @@ SAMPLED_TRACE_UOPS = 400_000
 
 
 def _sampled_section(repeat: int) -> list[dict]:
-    """Sampled-replay cells (lsq="samie", workload="sampled-<engine>").
+    """Sampled-replay cells (lsq="samie", workload="sampled-<variant>").
 
     Throughput is *source uops consumed per second* -- skipped uops are
     real work for the warm engine, so this is the end-to-end number a
     sampled sweep experiences.  Cells share the detailed grid's schema,
     so ``check_against`` gates them like any other cell.
+
+    Variants: ``sampled-scalar``/``sampled-vector`` isolate the warm
+    engine with event skipping off; ``sampled-skip`` is the shipping
+    configuration (best engine + event-driven cycle skipping in the
+    detailed windows).  Both axes are bit-identical by contract, so all
+    three cells report the same ipc/cycles.
     """
     import os
     import tempfile
@@ -134,32 +140,35 @@ def _sampled_section(repeat: int) -> list[dict]:
 
     spec = lsq_spec("samie")
     plan = SamplePlan(*SAMPLED_PLAN)
-    engines = ["scalar"]
+    variants = [("sampled-scalar", "scalar", False)]
     try:
         import numpy  # noqa: F401
 
-        engines.append("vector")
+        best_engine = "vector"
+        variants.append(("sampled-vector", "vector", False))
     except ImportError:  # pragma: no cover - numpy is a test-tier dep
+        best_engine = "scalar"
         print("numpy unavailable: skipping the sampled-vector cell")
+    variants.append(("sampled-skip", best_engine, True))
     results = []
     with tempfile.TemporaryDirectory() as td:
         path = os.path.join(td, "swim.uoptrace")
         record_trace(path, "swim", SAMPLED_TRACE_UOPS)
         name = spec_name(path)
-        for eng in engines:
+        for cell_name, eng, skip in variants:
             best = None
             sim = None
             for _ in range(repeat):
                 pipe = build_processor(build_lsq(spec))
                 t0 = time.perf_counter()
                 sim = run_sampled(pipe, make_trace(name), plan,
-                                  warm_engine=eng)
+                                  warm_engine=eng, event_skip=skip)
                 secs = time.perf_counter() - t0
                 best = secs if best is None else min(best, secs)
             consumed = sim.extra["sampling"]["source_uops_consumed"]
             cell = {
                 "lsq": spec[0],
-                "workload": f"sampled-{eng}",
+                "workload": cell_name,
                 "seconds": round(best, 6),
                 "instructions": sim.instructions,
                 "cycles": sim.cycles,
@@ -173,9 +182,12 @@ def _sampled_section(repeat: int) -> list[dict]:
                 f"{cell['uops_per_sec']:>10.0f} uops/s  ipc={sim.ipc:.3f}",
                 flush=True,
             )
-    if len(results) == 2:
-        ratio = results[1]["uops_per_sec"] / results[0]["uops_per_sec"]
+    by_name = {c["workload"]: c["uops_per_sec"] for c in results}
+    if "sampled-vector" in by_name:
+        ratio = by_name["sampled-vector"] / by_name["sampled-scalar"]
         print(f"sampled vector/scalar speedup: {ratio:.2f}x")
+    base = by_name.get("sampled-vector", by_name["sampled-scalar"])
+    print(f"sampled event-skip speedup: {by_name['sampled-skip'] / base:.2f}x")
     return results
 
 
@@ -208,6 +220,26 @@ def measure(workloads, n: int, warmup: int, repeat: int, breakdown: bool):
                 flush=True,
             )
     results.extend(_sampled_section(repeat))
+    # record the sampled-run speedups alongside the raw cells: the
+    # shipping configuration (sampled-skip) against the same-commit
+    # scalar reference baseline, plus each axis in isolation
+    sampled = {
+        c["workload"]: c["uops_per_sec"]
+        for c in results
+        if c["workload"].startswith("sampled-")
+    }
+    speedups = {
+        "skip_over_scalar": round(
+            sampled["sampled-skip"] / sampled["sampled-scalar"], 3
+        ),
+    }
+    if "sampled-vector" in sampled:
+        speedups["vector_over_scalar"] = round(
+            sampled["sampled-vector"] / sampled["sampled-scalar"], 3
+        )
+        speedups["skip_over_vector"] = round(
+            sampled["sampled-skip"] / sampled["sampled-vector"], 3
+        )
     score = host_score()
     doc = {
         "meta": {
@@ -218,6 +250,7 @@ def measure(workloads, n: int, warmup: int, repeat: int, breakdown: bool):
             "repeat": repeat,
             "sampled_plan": list(SAMPLED_PLAN),
             "sampled_trace_uops": SAMPLED_TRACE_UOPS,
+            "sampled_speedups": speedups,
             "host_score": round(score, 1),
         },
         "results": results,

@@ -440,6 +440,18 @@ def _serve_cache_config(args: argparse.Namespace):
     return CacheConfig.from_env()
 
 
+def write_port_file(path: str, port: int) -> None:
+    """Publish the bound port atomically (write-temp + ``os.replace``).
+
+    Scripts poll for this file and read it the instant it appears, so
+    it must never be observable empty or half-written.
+    """
+    tmp = path + ".tmp"
+    with open(tmp, "w") as fh:
+        fh.write(f"{port}\n")
+    os.replace(tmp, path)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro import obs
     from repro.obs import log as obs_log
@@ -469,8 +481,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
              args.max_pending or "unbounded", "on" if obs.enabled() else "off")
     if args.port_file:
         # written only after the socket is bound: scripts wait on this file
-        with open(args.port_file, "w") as fh:
-            fh.write(f"{port}\n")
+        write_port_file(args.port_file, port)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -554,8 +565,11 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(store.info().describe())
         return 0
     clearance = store.clear()
-    print(f"removed {clearance.removed} entries "
-          f"({clearance.stale} stale/corrupt)")
+    msg = (f"removed {clearance.removed} entries "
+           f"({clearance.stale} stale/corrupt)")
+    if clearance.tmp:
+        msg += f", reaped {clearance.tmp} abandoned .tmp files"
+    print(msg)
     return 0
 
 

@@ -41,6 +41,12 @@ class InFlight:
         store_data_ready: store operand value available.
         load_value: model-observed value tag (data-checking mode).
         ready_cycle: cycle at which the result becomes available.
+        stall_charged_until: MSHR stall-episode watermark -- structural
+            stall cycles have been charged up to this hierarchy cycle
+            (closed-form interval accounting; see
+            :meth:`repro.mem.hierarchy.MemoryHierarchy.daccess_blocked`).
+        stall_epoch: the hierarchy stall epoch the watermark belongs to;
+            a stats reset bumps the epoch, voiding stale watermarks.
     """
 
     __slots__ = (
@@ -63,6 +69,8 @@ class InFlight:
         "store_data_ready",
         "load_value",
         "ready_cycle",
+        "stall_charged_until",
+        "stall_epoch",
     )
 
     def __init__(self, uop: UOp):
@@ -88,6 +96,8 @@ class InFlight:
         self.store_data_ready = False
         self.load_value: Any = None
         self.ready_cycle = -1
+        self.stall_charged_until = 0
+        self.stall_epoch = 0
 
     def byte_range(self) -> tuple[int, int]:
         """Half-open [start, end) byte range of a memory access."""

@@ -120,6 +120,7 @@ class Pipeline:
         "pools", "fetch_queue", "_fetch_cap", "cache_energy", "area",
         "_pool_list", "_sample_occ", "_issue_info",
         "_area_acc", "_occ_list", "_ab_buf", "_skip_area",
+        "_area_pending", "_area_last_bd",
         "_lsq_begin_cycle", "_lsq_area_breakdown",
         "_commit_width", "_decode_width", "_fetch_width", "_watchdog",
         "_track_data", "_iw_int", "_iw_fp",
@@ -135,6 +136,7 @@ class Pipeline:
         "shared_occ_hist", "addr_buffer_busy_cycles",
         "_stat_cycle0", "_stat_committed0",
         "_ctrace",
+        "event_skip", "skipped_cycles",
         "__dict__",
     )
 
@@ -177,6 +179,11 @@ class Pipeline:
         if self._skip_area:
             for comp, area in lsq.area_breakdown().items():
                 self._area_acc[comp] += area
+        # stage-8 run-length batching: cycles whose breakdown dict is the
+        # *same object* (the LSQ's cache survived untouched) fold into one
+        # pending count, flushed as an exact multiply-add (_flush_area)
+        self._area_pending = 0
+        self._area_last_bd: dict[str, float] | None = None
         #: OpClass -> (pool, exec latency, pipelined?): one lookup per issue
         self._issue_info = {
             op: (self.pools[fu_pool_for(op)], EXEC_LATENCY[op], PIPELINED[op])
@@ -239,6 +246,16 @@ class Pipeline:
         #: opt-in cycle tracer (repro.obs.cycletrace); None costs one
         #: identity test per cycle, the whole disabled-observability budget
         self._ctrace = None
+
+        #: event-driven skipping of quiescent stall cycles (see
+        #: :meth:`_skip_quiescent`).  Bit-preserving by construction, so
+        #: like the warm-engine choice it is not part of any cache key;
+        #: off by default so full-replay runs keep a zero-cost loop, and
+        #: enabled by the sampled-run driver where stall-dominated
+        #: measured windows are the wall-clock bottleneck.
+        self.event_skip = False
+        #: cycles jumped over by the skip (diagnostic; not a statistic)
+        self.skipped_cycles = 0
 
     # ------------------------------------------------------------------
     # trace plumbing
@@ -393,7 +410,7 @@ class Pipeline:
                 if uop.is_store:
                     if head.placement is None:
                         return  # cannot write the cache before disambiguation
-                    if mem.daccess_blocked(uop.addr):
+                    if mem.daccess_blocked(uop.addr, head):
                         return  # MSHR exhausted: retry writeback next cycle
                     if not mem.dports.try_acquire():
                         return  # no write port this cycle
@@ -481,7 +498,7 @@ class Pipeline:
                     ld.load_value = tuple(route.store.seq for _ in range(ld.uop.size))
                 self._schedule(self.cycle + 1, "mem", ld)
             else:
-                if mem.daccess_blocked(ld.uop.addr):
+                if mem.daccess_blocked(ld.uop.addr, ld):
                     if still is not None:
                         still.append(ld)  # structural stall: MSHRs exhausted
                     continue
@@ -776,11 +793,20 @@ class Pipeline:
             self._dispatch()
         if self._fetch_stall_seq is None and cycle >= self._fetch_block_until:
             self._fetch()
-        # stage 8: telemetry (active area, occupancies), inlined
+        # stage 8: telemetry (active area, occupancies), inlined.  The
+        # breakdown dict is cached by the LSQ and rebuilt (a new object)
+        # on any occupancy change, so an identity match proves the run of
+        # cycles shares one breakdown -- it folds into a pending count
+        # and is flushed as an exact multiply-add (see _flush_area)
         if not self._skip_area:
-            area_cycles = self._area_acc
-            for comp, area in self._lsq_area_breakdown().items():
-                area_cycles[comp] += area
+            bd = self._lsq_area_breakdown()
+            if bd is self._area_last_bd:
+                self._area_pending += 1
+            else:
+                if self._area_pending:
+                    self._flush_area()
+                self._area_last_bd = bd
+                self._area_pending = 1
         self.area.cycles += 1
         if self._sample_occ:
             hist = self.shared_occ_hist
@@ -795,6 +821,22 @@ class Pipeline:
             self._ctrace.snap(self)
         self.cycle = cycle + 1
 
+    def _flush_area(self) -> None:
+        """Fold the pending stage-8 run into the area accumulators.
+
+        The Table 5 areas are integral um^2 (guarded by
+        tests/test_bit_identity.py), so the accumulators only ever hold
+        integers far below 2**53 and one multiply-add equals n repeated
+        additions bit for bit -- the same regrouping argument as
+        SamieLSQ.area_breakdown.
+        """
+        n = self._area_pending
+        if n and self._area_last_bd is not None:
+            area_cycles = self._area_acc
+            for comp, area in self._area_last_bd.items():
+                area_cycles[comp] += area * n
+        self._area_pending = 0
+
     def reset_stats(self) -> None:
         """Zero all measurement state, keeping architectural state warm.
 
@@ -807,6 +849,10 @@ class Pipeline:
         self.lsq.stats = type(self.lsq.stats)()
         self.cache_energy.reset()
         self.area.reset()
+        # discard any batched pre-reset stage-8 cycles: their area counts
+        # belong to the measurement epoch that was just zeroed
+        self._area_pending = 0
+        self._area_last_bd = None
         if self._skip_area:
             # re-seed the constant-zero components dropped by the reset
             for comp, area in self.lsq.area_breakdown().items():
@@ -862,13 +908,155 @@ class Pipeline:
 
     def _run_until(self, target_committed: int, cycle_limit: int) -> None:
         step = self.step
+        if self.event_skip and self._ctrace is None:
+            skip = self._skip_quiescent
+            while self.committed < target_committed and self.cycle < cycle_limit:
+                if self._trace_exhausted and not self._inflight and not self.fetch_queue:
+                    break
+                step()
+                # re-check the commit target before skipping: once the
+                # final instruction has committed, a skip would only
+                # inflate the cycle count past where a stepped run stops
+                if self.committed >= target_committed:
+                    break
+                skip(cycle_limit)
+            return
         while self.committed < target_committed and self.cycle < cycle_limit:
             if self._trace_exhausted and not self._inflight and not self.fetch_queue:
                 break
             step()
 
+    def _skip_quiescent(self, cycle_limit: int) -> None:
+        """Jump over cycles on which no stage can make progress.
+
+        Runs between steps when :attr:`event_skip` is on.  The guard is
+        *a priori*: every stage must be provably unable to act before
+        any cycle is skipped, because several per-cycle probes are not
+        no-ops when they can act (SAMIE AddrBuffer drains and ARB
+        placement retries charge energy/stats per attempt, a blocked
+        ready load re-routes every cycle, an unplaced ROB head triggers
+        a priority placement).  When the guard holds, the pipeline can
+        only be woken by a threshold event with a known cycle: the
+        earliest scheduled event, the fetch-stall horizon, the earliest
+        D-side fill completion, or the commit watchdog.  The clocks
+        jump straight to the earliest wake and the per-cycle telemetry
+        (active-area accumulation, occupancy histogram) is replayed for
+        the skipped span in closed form, bit-identical to what n
+        per-cycle iterations would have accumulated (integral areas make
+        the multiply-add exact; see the comment at the replay), so
+        results match with skipping on or off (enforced by
+        tests/test_event_skip.py and the CI ``mshr-smoke`` job).
+        """
+        # anything issuable, or a pending overflow flush: active
+        if self.int_iq._ready or self.fp_iq._ready or self._flush_requested:
+            return
+        cycle = self.cycle
+        wake = cycle_limit
+        # fetch: able to pull from the trace next cycle -> active; an
+        # I-miss block ends at a known cycle, a mispredict stall ends
+        # via the branch's exec event (covered by the event scan below)
+        if self._fetch_stall_seq is None:
+            fbu = self._fetch_block_until
+            if cycle >= fbu:
+                if len(self.fetch_queue) < self._fetch_cap and not self._trace_exhausted:
+                    return
+            elif fbu < wake:
+                wake = fbu
+        if self._trace_exhausted and not self._inflight and not self.fetch_queue:
+            return  # fully drained: the run loop's break condition fires
+        lsq = self.lsq
+        if not lsq.quiescent():
+            return  # AddrBuffer drain / placement retries charge per cycle
+        mem = self.mem
+        rob = self.rob
+        buf = rob.buf
+        fq = self.fetch_queue
+        if fq and len(buf) < rob.capacity:
+            # dispatch: able to admit the queue head next cycle -> active;
+            # a full IQ / exhausted regs / refusing LSQ only free at
+            # commit or issue, both covered by the wake sources below
+            u0 = fq[0]
+            iq = self.fp_iq if u0.is_fp else self.int_iq
+            if iq.size < iq.capacity:
+                if u0.is_fp:
+                    regs_free = self._fp_regs_used < self.cfg.fp_regs
+                elif u0.needs_int_reg:
+                    regs_free = self._int_regs_used < self.cfg.int_regs
+                else:
+                    regs_free = True
+                if regs_free and not (u0.is_mem and lsq.dispatch_would_block()):
+                    return
+        if buf:
+            head = buf[0]
+            uop = head.uop
+            if uop.is_mem and head.addr_ready and head.placement is None:
+                return  # head_blocked() probe is not a no-op (placement try)
+            if head.done and not (
+                uop.is_store and mem.daccess_blocked(uop.addr, head, probe=True)
+            ):
+                return  # head would commit (or contend for a write port)
+            # otherwise the head resumes via an event or a fill retire;
+            # the deadlock watchdog still fires on schedule
+        if self._inflight:
+            wd = self._last_commit_cycle + self._watchdog + 1
+            if wd < wake:
+                wake = wd
+        if self._pending_loads:
+            # a ready pending load acts every cycle it is polled (route
+            # arbitration charges energy even while MSHR-blocked), so
+            # any live one not gated by disambiguation/operands is active
+            inflight = self._inflight
+            q = self._unresolved_stores
+            frontier = q[0].seq if q else 1 << 62
+            for ld in self._pending_loads:
+                if ld.seq not in inflight or ld.mem_started or ld.seq > frontier:
+                    continue  # inert, or unblocks via a store's events
+                if lsq.load_ready(ld):
+                    return
+        if self._events:
+            ev = min(self._events)
+            if ev < wake:
+                wake = ev
+        dmshr = mem.dmshr
+        if dmshr._inflight:
+            # blocked store heads / merged accesses resume the cycle
+            # after the fill retires (retire runs on the advanced clock)
+            w = dmshr._min_ready - 1
+            if w < wake:
+                wake = w
+        n = wake - cycle
+        if n <= 0:
+            return
+        # replay stage-8 telemetry for the skipped span exactly as n
+        # per-cycle iterations would have (the occupancy and breakdown
+        # are loop invariants while quiescent) -- the span joins the
+        # pending run-length batch, flushed later by _flush_area
+        if not self._skip_area:
+            bd = self._lsq_area_breakdown()
+            if bd is self._area_last_bd:
+                self._area_pending += n
+            else:
+                if self._area_pending:
+                    self._flush_area()
+                self._area_last_bd = bd
+                self._area_pending = n
+        self.area.cycles += n
+        if self._sample_occ:
+            hist = self.shared_occ_hist
+            occ = len(self._occ_list)
+            if occ <= hist.max_value:
+                hist.buckets[occ] += n
+            else:
+                hist.overflow += n
+            if self._ab_buf:
+                self.addr_buffer_busy_cycles += n
+        self.skipped_cycles += n
+        self.cycle = wake
+        mem.cycle = wake
+
     def result(self) -> SimResult:
         """Snapshot the run statistics."""
+        self._flush_area()
         l1d = self.mem.l1d.stats
         dtlb = self.mem.dtlb
         dtlb_total = dtlb.hits.value + dtlb.misses.value

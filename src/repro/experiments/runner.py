@@ -74,8 +74,11 @@ from repro.workloads.spec2000 import SPEC2000_PROFILES
 #: 4: sampled-run semantics changed -- warm traffic left the measured
 #: hit/miss statistics and producer distances clamp at window starts;
 #: 5: ``extra`` gained the versioned ``telemetry`` envelope -- cached and
-#: fresh results must agree on layout)
-CACHE_VERSION = 5
+#: fresh results must agree on layout;
+#: 6: MSHR stall counters switched to closed-form interval accounting
+#: (telemetry envelope v2) -- values differ from the per-cycle-polled
+#: definition at flush/run-end truncation boundaries)
+CACHE_VERSION = 6
 
 
 def current_scale() -> tuple[int, int]:

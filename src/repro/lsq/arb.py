@@ -117,6 +117,14 @@ class ARBLSQ(BaseLSQ):
                 still.append(pair)
         self._pending = still
 
+    def quiescent(self) -> bool:
+        # every pending entry retries placement each cycle, charging
+        # comparisons/failures even when nothing places
+        return not self._pending
+
+    def dispatch_would_block(self) -> bool:
+        return self._inflight >= self.cfg.max_inflight
+
     # -- load scheduling -----------------------------------------------------
     def _forward_source(self, ins: InFlight) -> InFlight | None:
         """Youngest older overlapping store in ``ins``'s address row."""

@@ -115,6 +115,26 @@ class BaseLSQ(ABC):
     def begin_cycle(self, cycle: int) -> None:
         """Per-cycle housekeeping before issue (default: none)."""
 
+    def quiescent(self) -> bool:
+        """True when :meth:`begin_cycle` (and any other per-cycle retry
+        the model runs) would provably do nothing -- no state change, no
+        energy or statistics charged.  The pipeline's event-driven cycle
+        skip only engages while this holds, so a model whose per-cycle
+        work is never a no-op must return False whenever that work is
+        pending.  The default matches the default no-op ``begin_cycle``.
+        """
+        return True
+
+    def dispatch_would_block(self) -> bool:
+        """True when :meth:`dispatch` would certainly refuse the next
+        memory instruction *and* that can only change at commit or
+        flush.  Pure -- no stats, no energy.  The conservative default
+        (False: "cannot prove it would block") merely disables the
+        event-driven skip while a dispatch is pending, which is always
+        safe.
+        """
+        return False
+
     @abstractmethod
     def load_ready(self, ins: InFlight) -> bool:
         """May this load start its memory access this cycle?"""
@@ -153,6 +173,16 @@ class BaseLSQ(ABC):
     # -- SAMIE extension hooks (no-ops by default) ---------------------------
     def record_location(self, ins: InFlight, set_idx: int, way: int) -> None:
         """A cache access resolved the physical line location."""
+
+    #: Contract flag for the vectorized warm engine: True promises that
+    #: :meth:`on_l1_evict` is idempotent per ``set_idx``, ignores
+    #: ``line_addr``, and touches disjoint state for distinct sets, so a
+    #: skip gap's eviction burst may be collapsed to one call per
+    #: touched set (see ``repro.trace.fastwarm._warm_cache``).  Holds
+    #: for the default no-op and for SAMIE's whole-bank presentBit
+    #: reset; a subclass whose hook reads the line address or counts
+    #: calls must set this False to get exact per-eviction replay.
+    evict_hook_set_idempotent: bool = True
 
     def on_l1_evict(self, set_idx: int, line_addr: int) -> None:
         """An L1 line was replaced; clear any cached locations."""

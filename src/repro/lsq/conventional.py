@@ -80,6 +80,9 @@ class ConventionalLSQ(BaseLSQ):
         self._area_cache = None
         return True
 
+    def dispatch_would_block(self) -> bool:
+        return self.capacity is not None and len(self._ents) >= self.capacity
+
     def _words_of(self, ins: InFlight) -> range:
         """Aligned words covered by a memory access (usually exactly one)."""
         return range(ins.byte0 >> _WORD_SHIFT, ((ins.byte1 - 1) >> _WORD_SHIFT) + 1)

@@ -276,6 +276,12 @@ class SamieLSQ(BaseLSQ):
             buf.popleft()
             self._area_cache = None
 
+    def quiescent(self) -> bool:
+        # begin_cycle is a no-op while the AddrBuffer is empty or the
+        # retry gate is down (it re-arms only at commit/flush); otherwise
+        # the head-first drain charges energy per attempted cycle
+        return not self._addr_buffer._buf or not self._retry_ok
+
     def sample_occupancy(self) -> None:
         """Record per-cycle SharedLSQ occupancy (sizing studies).
 

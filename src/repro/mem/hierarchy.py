@@ -111,6 +111,17 @@ class MemoryHierarchy:
         self.imshr = MSHRFile(c.mshr_entries, c.mshr_targets, "imshr")
         #: advanced by :meth:`new_cycle`; the clock MSHR fills retire on
         self.cycle = 0
+        #: closed-form stall charging (see :meth:`daccess_blocked`).
+        #: False retains the historical one-per-polled-cycle reference
+        #: accounting, kept for the interval-vs-polled differential tier
+        #: in tests/test_mshr.py; the two are cycle-for-cycle equal.
+        self.interval_stall_stats = True
+        #: bumped by :meth:`reset_mshr_stats`; invalidates every token's
+        #: ``stall_charged_until`` watermark so an episode straddling a
+        #: stats reset (warmup boundary, measured-window start) re-charges
+        #: its remaining span into the fresh counters -- exactly the
+        #: cycles per-poll counting would have recorded there.
+        self._stall_epoch = 0
 
     # ------------------------------------------------------------------
     def new_cycle(self) -> None:
@@ -142,11 +153,34 @@ class MemoryHierarchy:
         l2res = self.l2.access(addr >> self.l2.line_shift, write)
         return (c.l2_hit_latency if l2res.hit else c.l2_miss_latency), l2res.hit
 
-    def daccess_blocked(self, addr: int) -> bool:
+    def daccess_blocked(self, addr: int, token=None, probe: bool = False) -> bool:
         """Would a data access structurally stall on MSHR exhaustion?
 
-        The pipeline polls this before claiming a port; each ``True``
-        adds one stall-cycle to the MSHR stats (duration, not count).
+        The pipeline polls this before claiming a port.  Stall duration
+        is charged in closed form: with a ``token`` (the polling
+        :class:`~repro.core.inflight.InFlight`, which carries the
+        ``stall_charged_until`` watermark) the first blocked poll of an
+        episode charges the whole interval up to the blocking fill's
+        ready cycle at once, and re-polls of the same episode charge
+        nothing.  This equals one-per-polled-cycle counting exactly: a
+        blocked access can only unblock when the fill it waits on
+        retires -- target slots never free early, and while the file is
+        full no entry for the line can appear (the line was inserted
+        into L1 when its fill was allocated, so a retired fill turns
+        the re-poll into an L1 probe hit, never a fresh allocation
+        race).  Token-less calls (direct users, tests) keep the
+        historical per-poll increment, as does
+        ``interval_stall_stats=False`` (the differential reference
+        mode).  Charging nothing on re-polls is also what legalizes
+        the pipeline's event-driven cycle skip: a skipped quiescent
+        poll has no increment left to lose.
+
+        ``probe=True`` marks an end-of-cycle quiescence-guard probe
+        rather than a stage poll: the stage that owns the token will
+        first poll it on the *next* cycle, so the charge starts one
+        cycle later (and reference-mode counting ignores the probe
+        entirely).  This keeps skip-on and skip-off runs bit-identical
+        even when a store turns ``done`` after commit already ran.
         """
         mshr = self.dmshr
         if mshr.blocking:
@@ -155,15 +189,42 @@ class MemoryHierarchy:
         entry = mshr.lookup(line)
         if entry is not None:
             if not mshr.can_merge(entry):
-                mshr.stats.target_stall_cycles += 1
+                self._charge_stall(mshr, token, entry.ready_cycle, True, probe)
                 return True
             return False
         if self.l1d.probe(line) is not None:
             return False
         if not mshr.can_allocate():
-            mshr.stats.entry_stall_cycles += 1
+            self._charge_stall(mshr, token, mshr._min_ready, False, probe)
             return True
         return False
+
+    def _charge_stall(self, mshr: MSHRFile, token, until: int,
+                      target: bool, probe: bool = False) -> None:
+        """Account one blocked poll (see :meth:`daccess_blocked`)."""
+        stats = mshr.stats
+        if token is None or not self.interval_stall_stats:
+            if probe:
+                return  # guard probe: not a polled cycle
+            if target:
+                stats.target_stall_cycles += 1
+            else:
+                stats.entry_stall_cycles += 1
+            return
+        if token.stall_epoch != self._stall_epoch:
+            token.stall_epoch = self._stall_epoch
+            token.stall_charged_until = 0
+        start = token.stall_charged_until
+        floor = self.cycle + 1 if probe else self.cycle
+        if start < floor:
+            start = floor
+        if until <= start:
+            return  # episode already charged (re-poll / same-cycle probe)
+        token.stall_charged_until = until
+        if target:
+            stats.target_stall_cycles += until - start
+        else:
+            stats.entry_stall_cycles += until - start
 
     def daccess(
         self,
@@ -307,6 +368,12 @@ class MemoryHierarchy:
         return out
 
     def reset_mshr_stats(self) -> None:
-        """Zero the MSHR counters (in-flight fills stay outstanding)."""
+        """Zero the MSHR counters (in-flight fills stay outstanding).
+
+        Bumps the stall epoch so interval-charged episodes straddling
+        the reset re-charge their post-reset remainder on the next poll
+        (matching what per-poll counting records after the boundary).
+        """
         self.dmshr.stats = type(self.dmshr.stats)()
         self.imshr.stats = type(self.imshr.stats)()
+        self._stall_epoch += 1

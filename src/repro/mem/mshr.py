@@ -34,8 +34,21 @@ class MSHRStats:
     """Aggregate MSHR event counts.
 
     ``*_stall_cycles`` count access-cycles an operation was held off --
-    every cycle the pipeline polls a structurally blocked access adds
-    one -- so they measure stall *duration*, not distinct stalled ops.
+    stall *duration*, not distinct stalled ops.  The hierarchy charges
+    them in *closed form*: when an access first finds itself blocked,
+    the whole interval up to the blocking fill's ready cycle is charged
+    at once (``ready - now``), and later polls of the same stalled
+    episode charge nothing.  This equals the historical
+    one-per-polled-cycle definition exactly -- a blocked access can
+    only unblock when the fill it waits on retires, never earlier --
+    and the equivalence is enforced against a retained per-cycle
+    reference mode by ``tests/test_mshr.py`` (interval-vs-polled
+    differential tier).  The closed form is what makes event-driven
+    cycle skipping stat-preserving: skipped quiescent cycles have no
+    per-cycle increments left to miss.  The one documented divergence:
+    an episode truncated by a pipeline flush or run end has already
+    paid its full interval (the per-cycle form stopped counting at the
+    truncation point).
     """
 
     allocations: int = 0

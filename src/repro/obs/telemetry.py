@@ -6,30 +6,42 @@ the sampled-run driver, each with its own ad-hoc shape.  This module
 folds them into one documented envelope::
 
     extra["telemetry"] = {
-        "v": 1,                  # schema version
+        "v": 2,                  # schema version
         "mshr": {...} | None,    # MSHR/memory-system counters
         "sampling": {...} | None # sampled-run bookkeeping
     }
 
-The legacy top-level keys are kept as aliases for one release (same
-dict objects, no copies) so existing consumers and stored results keep
-working; :func:`get_telemetry` reads both layouts.  Bumping the shape
-of ``extra`` invalidates result-store entries by construction -- the
-store key includes ``CACHE_VERSION``, which was bumped alongside this
-schema so cache-served and freshly simulated results can never disagree
-on layout.
+The legacy top-level keys are kept as aliases (same dict objects, no
+copies) so existing consumers and stored results keep working;
+:func:`get_telemetry` reads both layouts.  Bumping the shape of
+``extra`` invalidates result-store entries by construction -- the
+store key includes ``CACHE_VERSION``, which is bumped alongside every
+schema change so cache-served and freshly simulated results can never
+disagree on layout.
+
+Version history:
+
+* **v1** -- introduced the envelope; ``mshr``/``sampling`` sections
+  folded in from the historical bare ``extra`` keys.
+* **v2** -- the MSHR ``entry_stall_cycles``/``target_stall_cycles``
+  counters switched to closed-form *interval* accounting (the whole
+  stall episode is charged when it starts, instead of one increment
+  per polled cycle; see :mod:`repro.mem.mshr`).  The values equal the
+  per-cycle definition cycle-for-cycle except for episodes truncated
+  by a flush or run end, which now report their full interval.  Same
+  keys, v1 aliases retained (``CACHE_VERSION`` 6).
 """
 
 from __future__ import annotations
 
-TELEMETRY_VERSION = 1
+TELEMETRY_VERSION = 2
 
 #: sections the envelope knows about (order = documentation order)
 SECTIONS = ("mshr", "sampling")
 
 
 def build_extra(mshr: dict | None = None, sampling: dict | None = None) -> dict:
-    """Assemble a ``SimResult.extra`` dict in the v1 telemetry layout.
+    """Assemble a ``SimResult.extra`` dict in the current telemetry layout.
 
     Legacy aliases (``extra["mshr"]``, ``extra["sampling"]``) point at
     the *same* section dicts, so mutating through either view stays

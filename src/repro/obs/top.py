@@ -43,16 +43,23 @@ def parse_metrics_text(text: str) -> dict[str, float]:
 
 
 class RateTracker:
-    """sims/sec (or any counter's rate) from successive polls."""
+    """sims/sec (or any counter's rate) from successive polls.
+
+    A counter that moves *backwards* between polls means the service
+    restarted (fresh process, counters re-zeroed): the delta is
+    meaningless, so the poll re-baselines and reports ``None`` instead
+    of a negative rate.
+    """
 
     def __init__(self) -> None:
         self._last: tuple[float, float] | None = None
 
-    def update(self, value: float) -> float | None:
-        now = time.monotonic()
+    def update(self, value: float, now: float | None = None) -> float | None:
+        if now is None:
+            now = time.monotonic()
         prev = self._last
         self._last = (now, value)
-        if prev is None or now <= prev[0]:
+        if prev is None or now <= prev[0] or value < prev[1]:
             return None
         return (value - prev[1]) / (now - prev[0])
 
@@ -109,7 +116,6 @@ def top(url: str, interval: float = 1.0, once: bool = False,
     out = out or sys.stdout
     base = url.rstrip("/")
     tracker = RateTracker()
-    rate: float | None = None
     while True:
         try:
             doc = fetch_json(base + "/v1/stats")
@@ -121,9 +127,9 @@ def top(url: str, interval: float = 1.0, once: bool = False,
         stats = {**doc, **doc.get("stats", {})}
         text = fetch_text(base + "/v1/metrics")
         metrics = parse_metrics_text(text) if text else None
-        new_rate = tracker.update(stats.get("simulated", 0))
-        if new_rate is not None:
-            rate = new_rate
+        # None covers the first poll and counter regressions (service
+        # restart): render "--" rather than a stale or negative rate
+        rate = tracker.update(stats.get("simulated", 0))
         frame = render_top(stats, rate=rate, metrics=metrics, url=base)
         if once:
             print(frame, file=out)

@@ -49,6 +49,26 @@ _STREAM_POLL = 0.05
 _HEARTBEAT_EVERY = 0.5
 
 
+def heartbeat_rate(prev: tuple[float, float] | None, now: float,
+                   simulated: float) -> float | None:
+    """sims/sec between two heartbeat anchors, or ``None``.
+
+    ``None`` covers every degenerate case: no previous anchor (first
+    frame), a non-advancing or backwards clock (``elapsed <= 0`` must
+    never divide, let alone yield ``inf``), and a ``simulated`` counter
+    that moved backwards (stats were reset under the stream).
+    """
+    if prev is None:
+        return None
+    elapsed = now - prev[0]
+    if elapsed <= 0:
+        return None
+    delta = simulated - prev[1]
+    if delta < 0:
+        return None
+    return delta / elapsed
+
+
 class ServiceHTTPServer(ThreadingHTTPServer):
     """A threading HTTP server bound to one :class:`SimService`.
 
@@ -260,9 +280,7 @@ class _Handler(BaseHTTPRequestHandler):
         the next frame derives its sims/sec from (None on the first)."""
         stats = self.service.stats.snapshot()
         now = time.monotonic()
-        rate = None
-        if prev is not None and now > prev[0]:
-            rate = (stats["simulated"] - prev[1]) / (now - prev[0])
+        rate = heartbeat_rate(prev, now, stats["simulated"])
         hits = stats["memo_hits"] + stats["store_hits"]
         resolved = hits + stats["simulated"] + stats["failed"]
         emit({

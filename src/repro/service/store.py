@@ -35,6 +35,7 @@ import json
 import os
 import re
 import tempfile
+import time
 from dataclasses import dataclass
 from typing import Iterator, NamedTuple
 
@@ -66,11 +67,15 @@ class CacheClearance(NamedTuple):
 
     ``removed`` counts every deleted entry; ``stale`` counts the subset
     written by an abandoned ``CACHE_VERSION`` (or unreadable outright),
-    which could never have been served again.
+    which could never have been served again.  ``tmp`` counts reaped
+    write-temp turds (``*.tmp`` files a crashed writer left behind, old
+    enough that no live ``put`` can still own them); only directory
+    stores can have any.
     """
 
     removed: int
     stale: int
+    tmp: int = 0
 
 
 class StoreInfo(NamedTuple):
@@ -216,6 +221,10 @@ def _decode_entry(doc: dict, key: tuple | None) -> SimResult | None:
 #: the first few bytes without parsing the (large) result payload
 _VERSION_HEAD = re.compile(r'^\s*\{\s*"version"\s*:\s*(\d+)')
 
+#: a ``.tmp`` write-temp older than this (seconds) cannot belong to a
+#: live ``put`` -- writes are sub-second -- so ``clear`` may reap it
+_TMP_REAP_AGE = 3600.0
+
 
 class LocalDirStore(ResultStore):
     """One ``<address>.json`` per entry under a local directory.
@@ -328,7 +337,34 @@ class LocalDirStore(ResultStore):
             removed += 1
             if stale:
                 stale_count += 1
-        return CacheClearance(removed, stale_count)
+        return CacheClearance(removed, stale_count, self._reap_tmp())
+
+    def _reap_tmp(self) -> int:
+        """Delete abandoned ``*.tmp`` write-temps; returns the count.
+
+        Crashed writers leave them behind (``put`` renames on success),
+        and ``_scan``/``info`` ignore them, so without this they would
+        accumulate forever.  An age floor keeps a concurrent ``put``'s
+        in-progress temp safe.
+        """
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return 0
+        cutoff = time.time() - _TMP_REAP_AGE
+        reaped = 0
+        for name in names:
+            if not name.endswith(".tmp"):
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                if os.path.getmtime(path) > cutoff:
+                    continue
+                os.remove(path)
+            except OSError:
+                continue
+            reaped += 1
+        return reaped
 
     def info(self) -> StoreInfo:
         entries = stale = size = 0

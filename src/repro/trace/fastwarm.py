@@ -38,10 +38,17 @@ How exact vectorization is possible
   ``(global position, set, line)`` events and fires them sorted after
   the batch.  The hook only clears LSQ-side cached locations -- it
   cannot feed back into cache state, and no pipeline activity
-  interleaves within a skip gap, so deferral is exact.
+  interleaves within a skip gap, so deferral is exact.  A hook that
+  declares itself idempotent per set and blind to the line address
+  (``LSQBase.evict_hook_set_idempotent``, true for every shipped LSQ)
+  further collapses to one call per touched set: repeated clears of the
+  same set are a fixed point, and nothing observes the intermediate
+  states inside a gap.
 """
 
 from __future__ import annotations
+
+import heapq
 
 import numpy as np
 
@@ -142,11 +149,16 @@ def _warm_tlb(tlb, addrs) -> None:
     """Replay translations through ``tlb`` with scalar-identical state.
 
     Clock values are positional (``clk0 + i + 1`` whatever the outcome),
-    so a page's final map value is just the clock of its last use.  When
-    capacity cannot be exceeded no eviction can occur and the whole
-    batch reduces to one last-occurrence scatter; otherwise same-page
-    runs still collapse (a run's later accesses are guaranteed hits) and
-    only page transitions replay through the LRU dict.
+    so a page's final map value is just the clock of its last use.  The
+    whole batch then collapses to one closed form: a fully-associative
+    LRU's content is always the ``entries`` most-recently-used pages
+    (induction: a hit reorders within the set, a miss inserts the new
+    maximum and evicts the minimum; a page outside the TLB can only
+    re-enter by being accessed, which re-clocks it), so the final state
+    is the last-occurrence scatter of the batch merged over the existing
+    map, truncated to the ``entries`` newest clocks.  Clocks are unique
+    (one per access, and a page keeps only its last), so the truncation
+    is tie-free and matches the sequential evictions exactly.
     """
     n = len(addrs)
     if n == 0:
@@ -155,29 +167,11 @@ def _warm_tlb(tlb, addrs) -> None:
     clk0 = tlb._clock
     tmap = tlb._map
     uniq, ridx = np.unique(vpn[::-1], return_index=True)
-    pages = uniq.tolist()
-    last_clk = (clk0 + n - ridx).tolist()
-    missing = sum(1 for p in pages if p not in tmap)
-    if len(tmap) + missing <= tlb.entries:
-        for p, c in zip(pages, last_clk):
-            tmap[p] = c
-        tlb._clock = clk0 + n
-        return
-    change = np.empty(n, dtype=bool)
-    change[0] = True
-    change[1:] = vpn[1:] != vpn[:-1]
-    starts = np.flatnonzero(change)
-    ends = np.append(starts[1:], n)
-    run_pages = vpn[starts].tolist()
-    run_last = (clk0 + ends).tolist()  # clock of the run's last access
-    entries = tlb.entries
-    for p, c in zip(run_pages, run_last):
-        if p in tmap:
-            tmap[p] = c
-        else:
-            if len(tmap) >= entries:
-                del tmap[min(tmap, key=tmap.__getitem__)]
-            tmap[p] = c
+    tmap.update(zip(uniq.tolist(), (clk0 + n - ridx).tolist()))
+    excess = len(tmap) - tlb.entries
+    if excess > 0:
+        for p in heapq.nsmallest(excess, tmap, key=tmap.__getitem__):
+            del tmap[p]
     tlb._clock = clk0 + n
 
 
@@ -188,7 +182,10 @@ def _warm_cache(cache, lines, writes) -> None:
     access ``i`` is ``clk0 + i + 1`` regardless of outcome, so each
     set's subsequence replays independently with precomputed clocks.
     Within a set, consecutive same-tag accesses collapse to their run's
-    last clock / OR of writes; only tag transitions walk the ways.
+    last clock / OR of writes; only tag transitions replay, against the
+    set's state loaded once into parallel scalar lists (list.index and
+    min run at C speed, and line objects are written back once per set
+    instead of once per run).
     """
     n = len(lines)
     if n == 0:
@@ -210,50 +207,80 @@ def _warm_cache(cache, lines, writes) -> None:
     run_tag = s_tags[starts].tolist()
     run_lru = s_clk[ends - 1].tolist()
     if writes is None:
-        run_wr = None
+        run_wr = [False] * len(starts)
     else:
         run_wr = np.logical_or.reduceat(writes[order], starts).tolist()
     run_pos = s_clk[starts].tolist()  # global-order key for evictions
     sets = cache._sets
-    collect = cache.on_evict is not None
-    evicts = []
-    ways = None
-    prev_set = -1
-    for k in range(len(starts)):
+    cb = cache.on_evict
+    # an LSQ hook that is idempotent per set and blind to the line
+    # address (see ``LSQBase.evict_hook_set_idempotent``) collapses a
+    # gap's eviction burst to one call per touched set -- exact, because
+    # nothing reads the cleared state within a skip gap
+    dedup = cb is not None and getattr(
+        getattr(cb, "__self__", None), "evict_hook_set_idempotent", False
+    )
+    evicts = []  # (global pos, set, line) -- exact-order fallback mode
+    set_first = {}  # set -> first evicted line -- deduplicated mode
+    nruns = len(starts)
+    k = 0
+    while k < nruns:
         si = run_set[k]
-        if si != prev_set:
-            ways = sets[si]
-            prev_set = si
-        tag = run_tag[k]
-        wr = run_wr[k] if run_wr is not None else False
-        hit = False
-        for line in ways:
-            if line.valid and line.tag == tag:
-                line.lru = run_lru[k]
+        end = k
+        while end < nruns and run_set[end] == si:
+            end += 1
+        # replay the set's whole run subsequence on parallel scalar
+        # lists (C-speed .index()/min()) and write the lines back once;
+        # invalid ways carry tag None so an integer tag can never match
+        ways = sets[si]
+        vtag = [ln.tag if ln.valid else None for ln in ways]
+        vlru = [ln.lru for ln in ways]
+        vdirty = [ln.dirty for ln in ways]
+        vpres = [ln.present_bit for ln in ways]
+        free = [w for w, t in enumerate(vtag) if t is None]
+        first_evict = None
+        for r in range(k, end):
+            tag = run_tag[r]
+            wr = run_wr[r]
+            if tag in vtag:
+                w = vtag.index(tag)
+                vlru[w] = run_lru[r]
                 if wr:
-                    line.dirty = True
-                hit = True
-                break
-        if hit:
-            continue
-        victim = ways[0]
-        for line in ways:
-            if not line.valid:
-                victim = line
-                break
-            if line.lru < victim.lru:
-                victim = line
-        if victim.valid and collect:
-            evicts.append((run_pos[k], si, (victim.tag << set_bits) | si))
-        victim.tag = tag
-        victim.valid = True
-        victim.dirty = wr
-        victim.present_bit = False
-        victim.lru = run_lru[k]
+                    vdirty[w] = True
+            else:
+                if free:
+                    w = free.pop(0)  # first invalid way, like the scalar walk
+                else:
+                    # clocks are unique, so min() is tie-free; .index()
+                    # matches the scalar walk's first-lowest preference
+                    w = vlru.index(min(vlru))
+                    if cb is not None:
+                        line_addr = (vtag[w] << set_bits) | si
+                        if dedup:
+                            if first_evict is None:
+                                first_evict = line_addr
+                        else:
+                            evicts.append((run_pos[r], si, line_addr))
+                vtag[w] = tag
+                vdirty[w] = wr
+                vpres[w] = False
+                vlru[w] = run_lru[r]
+        for w, ln in enumerate(ways):
+            if vtag[w] is not None:
+                ln.tag = vtag[w]
+                ln.valid = True
+                ln.lru = vlru[w]
+                ln.dirty = vdirty[w]
+                ln.present_bit = vpres[w]
+        if first_evict is not None:
+            set_first[si] = first_evict
+        k = end
     cache._clock = clk0 + n
-    if evicts:
+    if set_first:
+        for si in sorted(set_first):
+            cb(si, set_first[si])
+    elif evicts:
         evicts.sort()
-        cb = cache.on_evict
         for _, si, line_addr in evicts:
             cb(si, line_addr)
 

@@ -135,3 +135,25 @@ class TestVerifyCLI:
                    "--grid", "quick", "--inject-bug", "no-store-forwarding"])
         assert rc == 1
         assert "self-test FAILED" in capsys.readouterr().out
+
+
+class TestPortFile:
+    def test_written_atomically_with_no_temp_left(self, tmp_path):
+        import os
+
+        from repro.cli import write_port_file
+
+        target = str(tmp_path / "svc.port")
+        write_port_file(target, 8421)
+        assert open(target).read() == "8421\n"
+        # the temp never survives, and nothing else was created: a
+        # watcher can only ever observe the complete file
+        assert sorted(os.listdir(tmp_path)) == ["svc.port"]
+
+    def test_overwrite_is_atomic_too(self, tmp_path):
+        from repro.cli import write_port_file
+
+        target = str(tmp_path / "svc.port")
+        write_port_file(target, 1)
+        write_port_file(target, 65535)
+        assert open(target).read() == "65535\n"

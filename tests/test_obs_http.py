@@ -107,6 +107,31 @@ class TestTop:
         assert t.update(0) is None
         assert t.update(10) is not None
 
+    def test_rate_tracker_counter_regression_returns_none(self):
+        # a service restart re-zeroes counters mid-watch: the negative
+        # delta is meaningless, so the poll re-baselines instead
+        t = RateTracker()
+        assert t.update(100, now=1.0) is None
+        assert t.update(150, now=2.0) == pytest.approx(50.0)
+        assert t.update(3, now=3.0) is None  # restarted service
+        assert t.update(9, now=4.0) == pytest.approx(6.0)  # fresh baseline
+
+    def test_rate_tracker_non_advancing_clock_returns_none(self):
+        t = RateTracker()
+        assert t.update(0, now=5.0) is None
+        assert t.update(10, now=5.0) is None  # elapsed == 0: no division
+
+    def test_heartbeat_rate_guards(self):
+        from repro.service.httpapi import heartbeat_rate
+
+        assert heartbeat_rate(None, 10.0, 5) is None  # first frame
+        assert heartbeat_rate((9.0, 2), 10.0, 5) == pytest.approx(3.0)
+        # a stalled or backwards clock must never yield inf/negative
+        assert heartbeat_rate((10.0, 2), 10.0, 5) is None
+        assert heartbeat_rate((11.0, 2), 10.0, 5) is None
+        # counter reset under the stream (service stats zeroed)
+        assert heartbeat_rate((9.0, 100), 10.0, 5) is None
+
     def test_render_top_lists_counters(self):
         frame = render_top({"submitted": 7, "simulated": 3, "pending": 1},
                            rate=2.0, url="http://x")

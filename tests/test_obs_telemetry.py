@@ -14,7 +14,7 @@ class TestBuildExtra:
         sampling = {"windows": 2}
         extra = build_extra(mshr=mshr, sampling=sampling)
         env = extra["telemetry"]
-        assert env["v"] == TELEMETRY_VERSION == 1
+        assert env["v"] == TELEMETRY_VERSION == 2
         # the legacy top-level keys alias the SAME objects -- a writer
         # updating extra["sampling"] in place stays coherent
         assert extra["mshr"] is env["mshr"]
@@ -32,7 +32,7 @@ class TestBuildExtra:
 class TestGetTelemetry:
     def test_reads_the_envelope(self):
         extra = build_extra(mshr={"a": 1})
-        assert get_telemetry(extra)["v"] == 1
+        assert get_telemetry(extra)["v"] == TELEMETRY_VERSION
 
     def test_lifts_legacy_extras_as_v0(self):
         legacy = {"mshr": {"a": 1}, "sampling": {"w": 2}}
@@ -52,7 +52,7 @@ class TestSimResultTelemetry:
         pipe.attach_trace(make_trace("gzip", seed=1))
         result = pipe.run(400, warmup=100)
         env = result.telemetry()
-        assert env["v"] == 1
+        assert env["v"] == TELEMETRY_VERSION
         assert result.extra["mshr"] is env["mshr"]
         assert "d_allocations" in env["mshr"]
 
@@ -63,5 +63,5 @@ class TestSimResultTelemetry:
         pipe.attach_trace(make_trace("gzip", seed=1))
         result = pipe.run(400, warmup=100)
         clone = SimResult.from_dict(result.to_dict())
-        assert clone.telemetry()["v"] == 1
+        assert clone.telemetry()["v"] == TELEMETRY_VERSION
         assert clone.to_dict() == result.to_dict()

@@ -93,9 +93,9 @@ class TestConformance:
         store.put(spec.key, result)
         cleared = store.clear()
         assert isinstance(cleared, CacheClearance)
-        assert cleared == (1, 0)
+        assert cleared == (1, 0, 0)
         assert store.get(spec.key) is None
-        assert store.clear() == (0, 0)
+        assert store.clear() == (0, 0, 0)
 
     def test_clear_reports_stale_subset(self, store, computed, monkeypatch):
         spec, result = computed
@@ -104,7 +104,7 @@ class TestConformance:
         store.put(spec.key, result)
         monkeypatch.setattr(runner, "CACHE_VERSION", current)
         store.put(spec.key, result)  # fresh entry alongside the stale one
-        assert store.clear() == (2, 1)
+        assert store.clear() == (2, 1, 0)
 
     def test_info_counts_servable_and_stale(self, store, computed, monkeypatch):
         spec, result = computed
@@ -172,8 +172,30 @@ class TestLocalDirStore:
         with open(turd, "w") as fh:
             fh.write('{"version"')
         assert store.info().entries == 1
-        assert store.clear() == (1, 0)
-        assert os.path.exists(turd)  # not the store's entry to delete
+        # a fresh .tmp may belong to a live put(): clear leaves it alone
+        assert store.clear() == (1, 0, 0)
+        assert os.path.exists(turd)
+
+    def test_clear_reaps_abandoned_tmp_files(self, tmp_path, computed):
+        from repro.service import store as store_mod
+
+        spec, result = computed
+        store = LocalDirStore(str(tmp_path))
+        store.put(spec.key, result)
+        old = os.path.join(str(tmp_path), "." + spec.cache_id + ".json.old.tmp")
+        fresh = os.path.join(str(tmp_path), "." + spec.cache_id + ".json.new.tmp")
+        for turd in (old, fresh):
+            with open(turd, "w") as fh:
+                fh.write('{"version"')
+        # age one turd past the reap horizon; the fresh one must survive
+        import time as _time
+
+        stale_when = _time.time() - store_mod._TMP_REAP_AGE - 10
+        os.utime(old, (stale_when, stale_when))
+        clearance = store.clear()
+        assert clearance == CacheClearance(removed=1, stale=0, tmp=1)
+        assert not os.path.exists(old)
+        assert os.path.exists(fresh)
 
     def test_address_never_reaches_filesystem_as_path(self, tmp_path):
         store = LocalDirStore(str(tmp_path))
@@ -183,7 +205,7 @@ class TestLocalDirStore:
     def test_missing_directory_is_empty_not_an_error(self, tmp_path):
         store = LocalDirStore(str(tmp_path / "never-created"))
         assert store.info() == (store.backend, store.directory, 0, 0, 0)
-        assert store.clear() == (0, 0)
+        assert store.clear() == (0, 0, 0)
         assert list(store.addresses()) == []
 
     def test_migration_compatible_with_preservice_layout(self, tmp_path, computed):
@@ -207,7 +229,7 @@ class TestNullStore:
         store.put(spec.key, result)
         assert store.get(spec.key) is None
         assert store.get_by_address(spec.cache_id) is None
-        assert store.clear() == (0, 0)
+        assert store.clear() == (0, 0, 0)
         assert store.info().entries == 0
 
 

@@ -186,8 +186,8 @@ class TestDiskCache:
 
     def test_clear_disk_cache(self):
         run_many([SimSpec.make("gzip", MACHINE_SAMIE, **SMALL)], jobs=1)
-        assert runner.clear_disk_cache() == (1, 0)  # one entry, none stale
-        assert runner.clear_disk_cache() == (0, 0)
+        assert runner.clear_disk_cache() == (1, 0, 0)  # one entry, no stale/tmp
+        assert runner.clear_disk_cache() == (0, 0, 0)
 
     def test_stale_version_entry_deleted_on_load(self):
         spec = SimSpec.make("gzip", MACHINE_SAMIE, **SMALL)
