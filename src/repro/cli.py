@@ -21,6 +21,13 @@ Subcommands:
                               file, ``replay`` one (optionally sampled),
                               ``info`` a file, ``ingest`` a Spike
                               commit log
+* ``scenarios``            -- the declarative scenario catalog:
+                              ``list``/``show`` the named compositions,
+                              ``run`` them (sugar for
+                              ``run scenario:<name>``; inline
+                              ``scenario:{json}`` specs work too) and
+                              ``sweep`` the scenario x geometry stress
+                              matrix
 * ``verify``               -- differential conformance campaign: fuzzed
                               programs through every LSQ model across a
                               geometry grid, checked against the golden
@@ -147,18 +154,36 @@ def _parse_mem(args: argparse.Namespace):
 def _build_specs(args: argparse.Namespace, machine, mem) -> list | None:
     """The ``run``/``submit`` workload list as ``SimSpec``s (None = error)."""
     from repro.experiments.runner import SimSpec
-    from repro.workloads.registry import TRACE_SCHEME
+    from repro.workloads.registry import (
+        SCENARIO_SCHEME,
+        TRACE_SCHEME,
+        get_workload,
+        has_workload,
+    )
 
     for w in args.workload:
-        # synthetic typos keep their KeyError contract; a mistyped trace
-        # path is a file problem and deserves a file message
+        # a mistyped trace path is a file problem and deserves a file
+        # message; scenario typos surface below via the canonicaliser
         if w.startswith(TRACE_SCHEME) and not os.path.exists(w[len(TRACE_SCHEME):]):
             print(f"{w[len(TRACE_SCHEME):]}: no such trace file", file=sys.stderr)
             return None
-    return [
-        SimSpec.make(w, machine, args.instructions, args.warmup, args.seed, mem=mem)
-        for w in args.workload
-    ]
+        if not w.startswith((TRACE_SCHEME, SCENARIO_SCHEME)) and not has_workload(w):
+            try:
+                get_workload(w)  # raises with the close-match suggestion
+            except ValueError as e:
+                print(e, file=sys.stderr)
+                return None
+    try:
+        return [
+            SimSpec.make(w, machine, args.instructions, args.warmup,
+                         args.seed, mem=mem)
+            for w in args.workload
+        ]
+    except ValueError as e:
+        # unknown scenario name / malformed inline scenario JSON --
+        # canonicalisation validates the spec at build time
+        print(e, file=sys.stderr)
+        return None
 
 
 def _run_instrumented(args: argparse.Namespace, specs: list) -> int:
@@ -201,6 +226,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     from repro.experiments.runner import run_many
     from repro.trace.format import TraceError
+    from repro.workloads.registry import UnknownWorkloadError
 
     machine = _run_machine(args.lsq)
     mem = _parse_mem(args)
@@ -213,6 +239,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return _run_instrumented(args, specs)
     try:
         results = run_many(specs, jobs=args.jobs)
+    except UnknownWorkloadError as e:
+        # mistyped workload name: clean message (with the close-match
+        # suggestion when the registry found one), not a traceback
+        print(e, file=sys.stderr)
+        return 1
     except TraceError as e:
         # a trace: workload can name a truncated/corrupt file; fail like
         # `trace replay` does, not with a traceback
@@ -251,6 +282,13 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
             print(f"{name:<10} {kind:<6} {detail}")
         else:
             print(f"{name:<10} {kind}")
+    if args.verbose:
+        from repro.scenarios import CATALOG
+
+        print()
+        print("scenarios (run as scenario:<name>):")
+        for name, scn in CATALOG.items():
+            print(f"scenario:{name:<20} {scn.note}")
     return 0
 
 
@@ -573,9 +611,115 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenarios_list(args: argparse.Namespace) -> int:
+    from repro.scenarios import CATALOG
+
+    for name, scn in CATALOG.items():
+        progs = len(scn.programs)
+        phases = max(len(p.phases) for p in scn.programs)
+        shape = []
+        if phases > 1:
+            shape.append(f"{phases} phases")
+        if progs > 1:
+            shape.append(f"{progs}-way interleave/{scn.interleave}")
+        tag = f" [{', '.join(shape)}]" if shape else ""
+        if args.verbose:
+            print(f"{name:<18}{tag} {scn.note}")
+        else:
+            print(f"{name}{tag}")
+    return 0
+
+
+def _cmd_scenarios_show(args: argparse.Namespace) -> int:
+    from repro.scenarios import (
+        UnknownScenarioError,
+        canonical_json,
+        resolve_scenario,
+        stressor_note,
+    )
+
+    try:
+        scn = resolve_scenario(args.name)
+    except (UnknownScenarioError, ValueError) as e:
+        print(e, file=sys.stderr)
+        return 1
+    print(f"scenario {scn.name}: {scn.note}")
+    for i, prog in enumerate(scn.programs):
+        region = prog.region if prog.region is not None else i
+        print(f"  program {i} (schedule={prog.schedule}, region slot {region}):")
+        for j, ph in enumerate(prog.phases):
+            length = ph.length if ph.length else "endless"
+            extras = f" params={dict(ph.params)}" if ph.params else ""
+            print(f"    phase {j}: {ph.stressor}@{ph.intensity} "
+                  f"length={length}{extras}")
+            print(f"      {stressor_note(ph.stressor)}")
+    if len(scn.programs) > 1:
+        print(f"  interleave: round-robin, {scn.interleave} uops per turn")
+    print("  canonical spec (the cache identity):")
+    print(f"    scenario:{canonical_json(scn)}")
+    return 0
+
+
+def _cmd_scenarios_run(args: argparse.Namespace) -> int:
+    from repro.scenarios import SCENARIO_SCHEME
+
+    args.workload = [
+        n if n.startswith(SCENARIO_SCHEME) else SCENARIO_SCHEME + n
+        for n in args.scenario
+    ]
+    return _cmd_run(args)
+
+
+def _cmd_scenarios_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments import scenario_sweep
+    from repro.experiments.runner import default_session
+
+    mem = _parse_mem(args)
+    if mem is _MEM_ERROR:
+        return 2
+    try:
+        result = scenario_sweep.compute(
+            scenarios=args.scenario or None,
+            instructions=args.instructions,
+            warmup=args.warmup,
+            seed=args.seed,
+            jobs=args.jobs,
+            mem=mem,
+        )
+    except ValueError as e:
+        print(e, file=sys.stderr)
+        return 1
+    print(result.to_text())
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(result.to_json() + "\n")
+        print(f"report written to {args.json}")
+    # CI asserts warm reruns serve from the store: simulated == 0
+    s = default_session().stats.snapshot()
+    print(f"session: simulated={s['simulated']} memo={s['memo_hits']} "
+          f"store={s['store_hits']}")
+    return 0
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.verify.campaign import GRIDS, CampaignConfig, run_campaign
     from repro.verify.fuzz import PROFILE_NAMES
+
+    if args.profile and args.profile not in PROFILE_NAMES:
+        # scenario catalog names (and inline scenario:{json} specs) are
+        # valid campaign profiles too -- generate_program compiles them
+        from repro.scenarios import catalog_names, has_scenario
+
+        spec = (args.profile if args.profile.startswith("scenario:")
+                else f"scenario:{args.profile}")
+        if not has_scenario(spec):
+            print(
+                f"unknown profile {args.profile!r}; fuzz profiles: "
+                f"{', '.join(PROFILE_NAMES)}; scenarios: "
+                f"{', '.join(catalog_names())}",
+                file=sys.stderr,
+            )
+            return 2
 
     fault = args.inject_bug
     profiles = (args.profile,) if args.profile else PROFILE_NAMES
@@ -744,6 +888,50 @@ def main(argv: list[str] | None = None) -> int:
     add_sweep_flags(rep_p)
     rep_p.set_defaults(fn=_cmd_trace_replay)
 
+    scn_p = sub.add_parser(
+        "scenarios",
+        help="list/show/run/sweep the declarative scenario catalog",
+    )
+    scn_sub = scn_p.add_subparsers(dest="scn_cmd", required=True)
+
+    scn_list = scn_sub.add_parser("list", help="list catalog scenarios")
+    scn_list.add_argument("--verbose", action="store_true",
+                          help="include each scenario's descriptive note")
+    scn_list.set_defaults(fn=_cmd_scenarios_list)
+
+    scn_show = scn_sub.add_parser(
+        "show", help="describe one scenario (phases, interleave, cache key)")
+    scn_show.add_argument("name",
+                          help="catalog name or inline scenario:{json} spec")
+    scn_show.set_defaults(fn=_cmd_scenarios_show)
+
+    scn_run = scn_sub.add_parser(
+        "run", help="simulate scenarios (sugar for `run scenario:<name>`)")
+    scn_run.add_argument("scenario", nargs="+",
+                         help="catalog name or inline scenario:{json} spec")
+    scn_run.add_argument("--lsq", default="samie",
+                         choices=["conventional", "unbounded", "samie", "arb"])
+    scn_run.add_argument("--instructions", type=int, default=20000)
+    scn_run.add_argument("--warmup", type=int, default=5000)
+    scn_run.add_argument("--seed", type=int, default=1)
+    scn_run.add_argument("--json", default=None, metavar="PATH",
+                         help="also write the results as a JSON report here")
+    add_sweep_flags(scn_run)
+    scn_run.set_defaults(fn=_cmd_scenarios_run, profile=False, cycle_trace=None)
+
+    scn_sweep = scn_sub.add_parser(
+        "sweep", help="scenario x LSQ-geometry stress matrix")
+    scn_sweep.add_argument("scenario", nargs="*",
+                           help="catalog names / scenario: specs "
+                                "(default: the whole catalog)")
+    scn_sweep.add_argument("--instructions", type=int, default=None)
+    scn_sweep.add_argument("--warmup", type=int, default=None)
+    scn_sweep.add_argument("--seed", type=int, default=1)
+    scn_sweep.add_argument("--json", default=None, metavar="PATH",
+                           help="write the matrix as a JSON artefact here")
+    add_sweep_flags(scn_sweep)
+    scn_sweep.set_defaults(fn=_cmd_scenarios_sweep)
+
     from repro.verify.diff import FAULTS
     from repro.verify.fuzz import PROFILE_NAMES
 
@@ -758,8 +946,10 @@ def main(argv: list[str] | None = None) -> int:
                        help="parallel worker processes (1 = in-process)")
     ver_p.add_argument("--grid", default="default", choices=["default", "quick"],
                        help="geometry grid to sweep")
-    ver_p.add_argument("--profile", default=None, choices=list(PROFILE_NAMES),
-                       help="restrict fuzzing to one stress profile")
+    ver_p.add_argument("--profile", default=None, metavar="NAME",
+                       help="restrict fuzzing to one stress profile "
+                            f"({', '.join(PROFILE_NAMES)}) or a scenario "
+                            "catalog name / inline scenario:{json} spec")
     ver_p.add_argument("--inject-bug", default="none", choices=list(FAULTS),
                        help="self-test: break the models and require detection")
     ver_p.add_argument("--no-selftest", action="store_true",

@@ -60,7 +60,9 @@ from repro.lsq.base import BaseLSQ
 from repro.lsq.conventional import ConventionalLSQ
 from repro.lsq.samie import SamieConfig, SamieLSQ
 from repro.workloads.registry import (
+    SCENARIO_SCHEME,
     TRACE_SCHEME,
+    UnknownWorkloadError,
     has_workload,
     make_trace,
     resolve_trace_path,
@@ -303,7 +305,14 @@ def config_token(cfg: ProcessorConfig | None) -> str:
 def _canonical_workload(workload: str) -> str:
     """Registered trace aliases and relative ``trace:`` paths resolve to
     one canonical ``trace:<abspath>`` name -- one file, one cache
-    identity, resolvable in pool workers regardless of their cwd."""
+    identity, resolvable in pool workers regardless of their cwd.
+    ``scenario:`` specs resolve to ``scenario:<canonical-json>`` -- a
+    catalog name and the equivalent inline doc share one cache identity,
+    and the canonical form is self-contained in pool workers."""
+    if workload.startswith(SCENARIO_SCHEME):
+        from repro.scenarios import canonical_scenario_name
+
+        return canonical_scenario_name(workload)
     path = resolve_trace_path(workload)
     if path is None:
         return workload
@@ -516,7 +525,7 @@ def build_spec_pipeline(spec: SimSpec):
     hook the pipeline before any cycle executes.
     """
     if not has_workload(spec.workload):
-        raise KeyError(f"unknown workload {spec.workload!r}")
+        raise UnknownWorkloadError(f"unknown workload {spec.workload!r}")
     cfg = spec.cfg
     if spec.mem:
         base = cfg or ProcessorConfig()
@@ -677,7 +686,7 @@ def run_one(
     ``machine_key`` must uniquely name the machine the factory builds.
     """
     if not has_workload(workload):
-        raise KeyError(f"unknown workload {workload!r}")
+        raise UnknownWorkloadError(f"unknown workload {workload!r}")
     env_n, env_w = current_scale()
     n = instructions if instructions is not None else env_n
     w = warmup if warmup is not None else env_w

@@ -1,0 +1,72 @@
+"""Declarative, composable scenario catalog for LSQ stress workloads.
+
+The scenario layer unifies the repo's workload stacks around one
+vocabulary: named atomic **stressors** x **intensity** levels x **phase
+schedules** x **multi-program interleaving**, compiling to deterministic
+uop streams through the existing ``AddressPattern`` primitives.
+
+Composition grammar (see ``ROADMAP.md`` for the prose version)::
+
+    scenario   := programs [interleave]
+    program    := phases [schedule=loop|hold] [region]
+    phase      := stressor intensity=low|mid|high [length] [params]
+    stressor   := aliasing_storm | bank_conflict | pointer_chase
+                | branch_storm | mshr_saturation | tlb_thrash | stack_churn
+
+Spec names: ``scenario:<catalog-name>`` or ``scenario:{inline-json}``;
+both canonicalise to ``scenario:<canonical-json>`` for cache identity.
+"""
+
+from repro.scenarios.catalog import (
+    CATALOG,
+    canonical_scenario_name,
+    catalog_names,
+    get_scenario,
+    has_scenario,
+    is_scenario,
+    resolve_scenario,
+    scenario_stream,
+)
+from repro.scenarios.model import (
+    SCENARIO_SCHEME,
+    PhaseSpec,
+    Scenario,
+    ScenarioProgram,
+    ScenarioStream,
+    UnknownScenarioError,
+    canonical_json,
+    scenario_from_doc,
+)
+from repro.scenarios.stressors import (
+    INTENSITIES,
+    STRESSOR_NAMES,
+    STRESSORS,
+    VERIFY_PROFILE_DATA,
+    make_profile,
+    stressor_note,
+)
+
+__all__ = [
+    "CATALOG",
+    "INTENSITIES",
+    "SCENARIO_SCHEME",
+    "STRESSORS",
+    "STRESSOR_NAMES",
+    "VERIFY_PROFILE_DATA",
+    "PhaseSpec",
+    "Scenario",
+    "ScenarioProgram",
+    "ScenarioStream",
+    "UnknownScenarioError",
+    "canonical_json",
+    "canonical_scenario_name",
+    "catalog_names",
+    "get_scenario",
+    "has_scenario",
+    "is_scenario",
+    "make_profile",
+    "resolve_scenario",
+    "scenario_from_doc",
+    "scenario_stream",
+    "stressor_note",
+]

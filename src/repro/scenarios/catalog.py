@@ -1,0 +1,171 @@
+"""The named scenario catalog and ``scenario:`` spec resolution.
+
+Catalog names resolve like registered workloads (``scenario:<name>``);
+arbitrary compositions resolve inline (``scenario:{json}``, see
+:func:`repro.scenarios.model.scenario_from_doc`).  Both canonicalise to
+``scenario:<canonical-json>`` for cache identity, so a catalog name and
+the equivalent inline doc share one cache entry.
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+
+from repro.scenarios.model import (
+    SCENARIO_SCHEME,
+    PhaseSpec,
+    Scenario,
+    ScenarioProgram,
+    ScenarioStream,
+    UnknownScenarioError,
+    canonical_json,
+    scenario_from_doc,
+)
+from repro.scenarios.stressors import STRESSOR_NAMES, stressor_note
+
+
+def _single(name: str, stressor: str, intensity: str = "mid") -> Scenario:
+    return Scenario(
+        name=name,
+        programs=(
+            ScenarioProgram(phases=(PhaseSpec(stressor, intensity),),
+                            schedule="hold"),
+        ),
+        note=f"[{intensity}] {stressor_note(stressor)}",
+    )
+
+
+def _build_catalog() -> dict[str, Scenario]:
+    entries: list[Scenario] = [
+        # one entry per atomic stressor at mid intensity
+        *(_single(s, s) for s in STRESSOR_NAMES),
+        # phase-switching compositions
+        Scenario(
+            name="phase_ping_pong",
+            programs=(
+                ScenarioProgram(
+                    phases=(
+                        PhaseSpec("aliasing_storm", "mid", length=2500),
+                        PhaseSpec("pointer_chase", "mid", length=2500),
+                    ),
+                    schedule="loop",
+                ),
+            ),
+            note="alternate aliasing bursts with dependent chases every "
+                 "2500 uops",
+        ),
+        Scenario(
+            name="phase_tour",
+            programs=(
+                ScenarioProgram(
+                    phases=(
+                        PhaseSpec("bank_conflict", "mid", length=2000),
+                        PhaseSpec("mshr_saturation", "mid", length=2000),
+                        PhaseSpec("branch_storm", "mid", length=2000),
+                    ),
+                    schedule="loop",
+                ),
+            ),
+            note="cycle bank pressure -> miss pressure -> mispredict "
+                 "pressure, 2000 uops each",
+        ),
+        Scenario(
+            name="warmup_shift",
+            programs=(
+                ScenarioProgram(
+                    phases=(
+                        PhaseSpec("mshr_saturation", "high", length=4000),
+                        PhaseSpec("stack_churn", "mid"),
+                    ),
+                    schedule="hold",
+                ),
+            ),
+            note="one-shot regime change: streaming miss storm, then "
+                 "steady stack traffic (warmup-sensitivity probe)",
+        ),
+        # SMT-style interleaved contention
+        Scenario(
+            name="smt_mix",
+            programs=(
+                ScenarioProgram(phases=(PhaseSpec("pointer_chase", "mid"),)),
+                ScenarioProgram(phases=(PhaseSpec("bank_conflict", "mid"),)),
+            ),
+            interleave=64,
+            note="two programs share the LSQ: latency-bound chase vs "
+                 "bank-hammering sweep",
+        ),
+        Scenario(
+            name="smt_storm",
+            programs=(
+                ScenarioProgram(phases=(PhaseSpec("aliasing_storm", "high"),)),
+                ScenarioProgram(phases=(PhaseSpec("branch_storm", "mid"),)),
+                ScenarioProgram(phases=(PhaseSpec("mshr_saturation", "mid"),)),
+            ),
+            interleave=32,
+            note="three-way contention: aliasing, mispredicts and misses "
+                 "in 32-uop slices",
+        ),
+    ]
+    return {s.name: s for s in entries}
+
+
+CATALOG: dict[str, Scenario] = _build_catalog()
+
+
+def catalog_names() -> list[str]:
+    """Catalog scenario names (insertion order: atoms, then compositions)."""
+    return list(CATALOG)
+
+
+def get_scenario(name: str) -> Scenario:
+    """Catalog scenario by name; raises with suggestions when unknown."""
+    try:
+        return CATALOG[name]
+    except KeyError:
+        close = difflib.get_close_matches(name, list(CATALOG), n=3)
+        hint = f"; did you mean: {', '.join(close)}?" if close else ""
+        raise UnknownScenarioError(
+            f"unknown scenario {name!r}; available: "
+            f"{', '.join(CATALOG)}{hint}"
+        ) from None
+
+
+def is_scenario(workload: str) -> bool:
+    """True for any ``scenario:``-scheme spec name (validity unchecked)."""
+    return workload.startswith(SCENARIO_SCHEME)
+
+
+def resolve_scenario(spec: str) -> Scenario:
+    """Resolve a spec name (``scenario:<name>``/``scenario:{json}``), a
+    bare catalog name, or a bare JSON document to a Scenario."""
+    body = spec[len(SCENARIO_SCHEME):] if is_scenario(spec) else spec
+    body = body.strip()
+    if body.startswith("{"):
+        try:
+            doc = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"bad inline scenario JSON: {exc}") from None
+        return scenario_from_doc(doc)
+    return get_scenario(body)
+
+
+def canonical_scenario_name(spec: str) -> str:
+    """Canonical cache-identity spec name: ``scenario:<canonical-json>``."""
+    return SCENARIO_SCHEME + canonical_json(resolve_scenario(spec))
+
+
+def has_scenario(spec: str) -> bool:
+    """True when ``spec`` resolves to a scenario (catalog or valid inline)."""
+    if not is_scenario(spec):
+        return False
+    try:
+        resolve_scenario(spec)
+        return True
+    except ValueError:
+        return False
+
+
+def scenario_stream(spec: str, seed: int = 1) -> ScenarioStream:
+    """Deterministic uop stream for a ``scenario:`` spec name."""
+    return ScenarioStream(resolve_scenario(spec), seed=seed)

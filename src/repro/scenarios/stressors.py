@@ -1,0 +1,323 @@
+"""Atomic stressors: named LSQ failure modes at three intensities.
+
+A *stressor* is the atom of the scenario catalog: one named memory/branch
+behaviour (aliasing storm, bank conflict, pointer chase, ...) that a
+:class:`~repro.scenarios.model.PhaseSpec` instantiates at an intensity
+level.  Each stressor compiles to a plain
+:class:`~repro.workloads.base.WorkloadProfile` over the existing
+:mod:`~repro.workloads.patterns` primitives, so the scenario layer adds
+no new stream generator -- only composition.
+
+The same stressor vocabulary feeds the verify fuzzer:
+:data:`VERIFY_PROFILE_DATA` holds the per-stressor projection onto the
+fuzzer's constrained address space (``verify/fuzz.py`` builds its
+``Profile`` objects from this table).  The six legacy fuzz profiles keep
+their exact historical parameters -- their generated programs are part of
+the golden bit-identity surface.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.workloads.base import WorkloadProfile
+from repro.workloads.patterns import (
+    AddressPattern,
+    ColumnSweep,
+    HotRandom,
+    MultiArrayStencil,
+    PointerChase,
+    StackPattern,
+    StridedStream,
+)
+
+#: data segment for scenario programs; each program slot gets SPACING bytes,
+#: far above the synthetic SPEC region (0x2000_0000) and trace fixtures
+REGION_BASE = 0x6000_0000
+REGION_SPACING = 0x0400_0000  # 64 MiB per interleaved program
+
+INTENSITIES = ("low", "mid", "high")
+
+#: WorkloadProfile scalar fields a PhaseSpec may override via ``params``
+PARAM_FIELDS = {
+    "mem_frac": (float, 0.0, 1.0),
+    "store_frac": (float, 0.0, 1.0),
+    "branch_frac": (float, 0.0, 0.6),
+    "hard_site_frac": (float, 0.0, 1.0),
+    "hard_bias": (float, 0.0, 1.0),
+    "loop_bias": (float, 0.0, 0.999),
+    "dep_mean": (float, 1.0, 64.0),
+    "dep_max": (int, 1, 256),
+    "n_blocks": (int, 1, 64),
+    "block_len": (int, 2, 128),
+}
+
+
+def _lvl(level: str, low, mid, high):
+    return {"low": low, "mid": mid, "high": high}[level]
+
+
+# -- the seven stressors -----------------------------------------------------
+#
+# Each builder returns (profile_kwargs, make_patterns) for one intensity.
+# Pattern factories close over the program's data-region base; all offsets
+# stay well inside REGION_SPACING so interleaved programs never overlap.
+
+
+def _aliasing_storm(base: int, level: str):
+    region = _lvl(level, 4096, 1024, 256)
+    kw = dict(
+        mem_frac=_lvl(level, 0.55, 0.62, 0.70), store_frac=0.45,
+        branch_frac=0.03, dep_mean=8.0,
+    )
+
+    def make() -> list[tuple[float, AddressPattern]]:
+        return [
+            (3.0, HotRandom(base, region_bytes=region, size=4)),
+            (1.5, HotRandom(base + 0x1_0000, region_bytes=region, size=8)),
+            (1.0, StridedStream(base + 0x2_0000, stride=8, extent=region, size=8)),
+        ]
+
+    return kw, make
+
+
+def _bank_conflict(base: int, level: str):
+    rows = _lvl(level, 128, 256, 512)
+    kw = dict(
+        mem_frac=_lvl(level, 0.50, 0.60, 0.70), store_frac=0.40,
+        branch_frac=0.03, dep_mean=12.0,
+    )
+
+    def make() -> list[tuple[float, AddressPattern]]:
+        # row_bytes = 2048 = 64 lines: every access a new line, all in one
+        # DistribLSQ bank -- the SharedLSQ pressure stressor
+        return [
+            (4.0, ColumnSweep(base, row_bytes=2048, rows=rows, cols=64)),
+            (1.0, HotRandom(base + 0x40_0000, region_bytes=2048, size=8)),
+        ]
+
+    return kw, make
+
+
+def _pointer_chase(base: int, level: str):
+    footprint = _lvl(level, 1 << 20, 1 << 23, 1 << 25)
+    kw = dict(
+        mem_frac=_lvl(level, 0.45, 0.55, 0.62), store_frac=0.12,
+        branch_frac=0.05, dep_mean=2.5, dep_max=8,
+    )
+
+    def make() -> list[tuple[float, AddressPattern]]:
+        return [
+            (4.0, PointerChase(base, footprint_bytes=footprint, fields=3)),
+            (1.0, StackPattern(base + 0x200_0000, depth_bytes=256)),
+        ]
+
+    return kw, make
+
+
+def _branch_storm(base: int, level: str):
+    kw = dict(
+        mem_frac=0.25, store_frac=0.30,
+        branch_frac=_lvl(level, 0.18, 0.28, 0.38),
+        hard_site_frac=_lvl(level, 0.45, 0.60, 0.75),
+        hard_bias=0.45, loop_bias=0.85, dep_mean=6.0,
+    )
+
+    def make() -> list[tuple[float, AddressPattern]]:
+        return [
+            (2.0, HotRandom(base, region_bytes=8192, size=8)),
+            (1.0, StridedStream(base + 0x1_0000, stride=8, extent=1 << 16, size=8)),
+        ]
+
+    return kw, make
+
+
+def _mshr_saturation(base: int, level: str):
+    extent = _lvl(level, 1 << 22, 1 << 23, 1 << 24)
+    kw = dict(
+        mem_frac=_lvl(level, 0.55, 0.65, 0.72), store_frac=0.10,
+        branch_frac=0.02, dep_mean=28.0, dep_max=48, block_len=32,
+    )
+
+    def make() -> list[tuple[float, AddressPattern]]:
+        # line-stride streaming: every access misses to a new line while
+        # long dependence distances keep many loads in flight -> MSHR fill
+        return [
+            (3.0, StridedStream(base, stride=32, extent=extent, size=8)),
+            (2.0, StridedStream(base + 0x100_0000, stride=32, extent=extent, size=8)),
+            (1.0, MultiArrayStencil(base + 0x200_0000, arrays=3,
+                                    array_bytes=1 << 20, stride_elems=4)),
+        ]
+
+    return kw, make
+
+
+def _tlb_thrash(base: int, level: str):
+    extent = _lvl(level, 1 << 23, 1 << 24, 1 << 25)
+    footprint = _lvl(level, 1 << 22, 1 << 23, 1 << 24)
+    kw = dict(
+        mem_frac=_lvl(level, 0.50, 0.60, 0.68), store_frac=0.25,
+        branch_frac=0.03, dep_mean=14.0,
+    )
+
+    def make() -> list[tuple[float, AddressPattern]]:
+        # page-stride walk + scattered chase: new page nearly every access
+        return [
+            (3.0, StridedStream(base, stride=4096, extent=extent, size=8)),
+            (2.0, PointerChase(base + 0x200_0000, footprint_bytes=footprint,
+                               node_bytes=4096, fields=1)),
+        ]
+
+    return kw, make
+
+
+def _stack_churn(base: int, level: str):
+    depth = _lvl(level, 256, 512, 1024)
+    kw = dict(
+        mem_frac=_lvl(level, 0.55, 0.62, 0.70), store_frac=0.55,
+        branch_frac=0.06, dep_mean=6.0, block_len=12,
+    )
+
+    def make() -> list[tuple[float, AddressPattern]]:
+        # two active frames plus a spill region: push/pop write bursts
+        return [
+            (3.0, StackPattern(base, depth_bytes=depth)),
+            (2.0, StackPattern(base + 0x1000, depth_bytes=depth)),
+            (1.0, HotRandom(base + 0x4000, region_bytes=2048, size=8)),
+        ]
+
+    return kw, make
+
+
+_Builder = Callable[[int, str], tuple[dict, Callable[[], list]]]
+
+STRESSORS: dict[str, tuple[_Builder, str]] = {
+    "aliasing_storm": (_aliasing_storm,
+                       "dense same-line load/store clusters over a hot region"),
+    "bank_conflict": (_bank_conflict,
+                      "64-line-stride column sweep: one DistribLSQ bank soaks "
+                      "every access"),
+    "pointer_chase": (_pointer_chase,
+                      "dependent node-hopping over a large footprint (mcf-like)"),
+    "branch_storm": (_branch_storm,
+                     "mispredict-heavy control flow interleaved with memory"),
+    "mshr_saturation": (_mshr_saturation,
+                        "line-stride streaming with high ILP: outstanding-miss "
+                        "(MSHR) pressure"),
+    "tlb_thrash": (_tlb_thrash,
+                   "page-stride walks: dTLB capacity misses on nearly every "
+                   "access"),
+    "stack_churn": (_stack_churn,
+                    "push/pop write bursts over a few stack lines"),
+}
+
+STRESSOR_NAMES: tuple[str, ...] = tuple(STRESSORS)
+
+
+def stressor_note(name: str) -> str:
+    """One-line description of a stressor."""
+    return STRESSORS[name][1]
+
+
+def check_params(params: dict) -> None:
+    """Validate a PhaseSpec ``params`` override dict (raises ValueError)."""
+    for key, value in params.items():
+        if key not in PARAM_FIELDS:
+            raise ValueError(
+                f"unknown scenario param {key!r}; allowed: "
+                f"{', '.join(sorted(PARAM_FIELDS))}"
+            )
+        typ, lo, hi = PARAM_FIELDS[key]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValueError(f"scenario param {key!r} must be a number")
+        if typ is int and int(value) != value:
+            raise ValueError(f"scenario param {key!r} must be an integer")
+        if not (lo <= value <= hi):
+            raise ValueError(
+                f"scenario param {key!r}={value!r} outside [{lo}, {hi}]"
+            )
+
+
+def make_profile(
+    stressor: str,
+    intensity: str,
+    base: int,
+    name: str,
+    params: dict | None = None,
+) -> WorkloadProfile:
+    """Compile one stressor at one intensity into a WorkloadProfile.
+
+    ``name`` seeds the builder's per-profile rng streams, so it must be a
+    pure function of the phase's structural position (the scenario model
+    derives it from program/phase indices, never from display names).
+    """
+    if stressor not in STRESSORS:
+        raise ValueError(
+            f"unknown stressor {stressor!r}; available: "
+            f"{', '.join(STRESSOR_NAMES)}"
+        )
+    if intensity not in INTENSITIES:
+        raise ValueError(
+            f"unknown intensity {intensity!r}; use one of {INTENSITIES}"
+        )
+    builder, note = STRESSORS[stressor]
+    kw, make_patterns = builder(base, intensity)
+    overrides = dict(params or {})
+    check_params(overrides)
+    for key, value in overrides.items():
+        typ = PARAM_FIELDS[key][0]
+        kw[key] = typ(value)
+    return WorkloadProfile(
+        name=name, suite="scenario", make_patterns=make_patterns,
+        note=f"{stressor}@{intensity}: {note}", **kw,
+    )
+
+
+# -- verify-fuzzer projections -----------------------------------------------
+#
+# Keyword data for verify/fuzz.py's Profile objects, keyed by profile
+# name.  The first six entries are the historical fuzz profiles and MUST
+# stay byte-identical (golden bit-identity tier); the rest project the
+# catalog stressors onto the fuzzer's constrained address space.
+
+VERIFY_PROFILE_DATA: dict[str, dict] = {
+    # -- legacy profiles (frozen parameters) --
+    "aliasing": dict(
+        weights=(0.40, 0.40, 0.15, 0.05), line_indices=(0, 1),
+        word_slots=(0, 1, 2, 3)),
+    "sizes": dict(
+        weights=(0.45, 0.40, 0.10, 0.05), line_indices=(0, 1, 2),
+        word_slots=(0, 1)),
+    "bank_conflict": dict(
+        weights=(0.35, 0.40, 0.20, 0.05),
+        line_indices=tuple(64 * k for k in range(8)),
+        word_slots=(0, 1, 2, 3)),
+    "branch_storm": dict(
+        weights=(0.20, 0.15, 0.20, 0.45), line_indices=(0, 1, 2, 3),
+        word_slots=(0, 1, 2, 3)),
+    "addr_pressure": dict(
+        weights=(0.25, 0.45, 0.25, 0.05),
+        line_indices=tuple(3 * k for k in range(32)),
+        word_slots=(0, 1, 2, 3), max_src_distance=12),
+    "mixed": dict(
+        weights=(0.30, 0.30, 0.25, 0.15),
+        line_indices=(0, 1, 2, 5, 64, 65, 128),
+        word_slots=(0, 1, 2, 3)),
+    # -- catalog-stressor projections --
+    "pointer_chase": dict(
+        weights=(0.55, 0.10, 0.25, 0.10),
+        line_indices=tuple(7 * k for k in range(24)),
+        word_slots=(0, 1, 2, 3), max_src_distance=4),
+    "mshr_saturation": dict(
+        weights=(0.60, 0.10, 0.25, 0.05),
+        line_indices=tuple(range(48)),
+        word_slots=(0, 1, 2, 3), max_src_distance=12),
+    "tlb_thrash": dict(
+        weights=(0.45, 0.30, 0.20, 0.05),
+        line_indices=tuple(128 * k for k in range(16)),
+        word_slots=(0, 1, 2, 3)),
+    "stack_churn": dict(
+        weights=(0.30, 0.50, 0.15, 0.05),
+        line_indices=(0, 1, 2, 3, 4, 5, 6, 7),
+        word_slots=(0, 1, 2, 3)),
+}

@@ -365,10 +365,15 @@ class SimService:
                 raise PhaseError("service is torn down")
         # validate before touching keys: key construction stats trace
         # files, and a missing workload should surface as the documented
-        # KeyError before any work is admitted
+        # error (UnknownWorkloadError: both ValueError and KeyError)
+        # before any work is admitted
+        from repro.workloads.registry import UnknownWorkloadError
+
         for spec in specs:
             if not runner.has_workload(spec.workload):
-                raise KeyError(f"unknown workload {spec.workload!r}")
+                raise UnknownWorkloadError(
+                    f"unknown workload {spec.workload!r}"
+                )
         keys = [spec.key for spec in specs]
         seen: dict[tuple, object] = {}
         for spec, key in zip(specs, keys):

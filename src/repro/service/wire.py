@@ -15,6 +15,12 @@ so an HTTP submission and an in-process submission of the same spec
 share one content address (the dedup and warm-restart guarantees depend
 on this).  Decoding is strict -- unknown fields and malformed values
 raise ``ValueError`` with a message fit for an HTTP 400 body.
+
+``scenario:`` specs need no wire support of their own: the workload
+field travels as an opaque string (catalog name or inline JSON) and
+:meth:`SimSpec.make` canonicalises it on both sides, so a scenario
+submitted over HTTP and the equivalent in-process spec still collapse
+to one content address.
 """
 
 from __future__ import annotations

@@ -1,0 +1,73 @@
+"""Regenerate ``spike_ptrchase.log``, the pointer-chase Spike fixture.
+
+Second kernel of the bundled Spike corpus (after ``gen_vvadd``): a
+linked-list walk whose next pointer is loaded *into the base register
+itself* (``ld x10, 0(x10)``), so correct replay depends on the ingest
+decoder computing the effective address from the register file *before*
+applying the line's writeback.  Nodes are spread 1 KiB apart across ~24
+pages, giving the replayed trace genuine dTLB and cache-line diversity
+(the vvadd fixture is three dense streams).
+
+Same riscv-pythia commit-line format and the same determinism contract:
+rerunning this script must reproduce the committed fixture byte for
+byte.
+
+Usage::
+
+    python -m repro.trace.fixtures.gen_ptrchase > spike_ptrchase.log
+"""
+
+from __future__ import annotations
+
+from repro.trace.fixtures.gen_vvadd import _add, _addi, _bne, _ld, _lui
+
+NODES = 96                   # linked-list length (5 is coprime to 96)
+NODE_STRIDE = 1024           # one node per KiB: ~24 distinct 4K pages
+STEPS = 128                  # chase iterations (wraps the 96-node cycle)
+HEAP = 0x8003_0000
+
+
+def _node_addr(idx: int) -> int:
+    return HEAP + idx * NODE_STRIDE
+
+
+def _next_idx(idx: int) -> int:
+    # a fixed permutation of the node set; the cycle through node 0 has
+    # length 32, so the walk revisits 32 distinct nodes across 24 pages
+    return (idx * 5 + 3) % NODES
+
+
+def emit() -> list[str]:
+    lines: list[str] = []
+
+    def commit(pc: int, inst: int, rd: int | None = None,
+               val: int | None = None) -> None:
+        wb = f" x{rd:2d} 0x{val:016x}" if rd is not None else ""
+        lines.append(f"0x{pc:016x} (0x{inst:08x}){wb}")
+
+    pc = 0x8000_0000
+    idx = 0
+    commit(pc, _lui(10, HEAP >> 12), 10, _node_addr(idx)); pc += 4
+    commit(pc, _addi(7, 0, 0), 7, 0); pc += 4
+    commit(pc, _addi(13, 0, STEPS), 13, STEPS); pc += 4
+    loop = pc
+    acc = 0
+    for step in range(STEPS):
+        pc = loop
+        payload = idx * 17 + 1
+        acc = (acc + payload) & 0xFFFF_FFFF_FFFF_FFFF
+        nxt = _next_idx(idx)
+        # payload field at node+8, then the self-updating pointer follow:
+        # the ld's address must come from x10's value *before* writeback
+        commit(pc, _ld(6, 10, 8), 6, payload); pc += 4
+        commit(pc, _add(7, 7, 6), 7, acc); pc += 4
+        commit(pc, _ld(10, 10, 0), 10, _node_addr(nxt)); pc += 4
+        commit(pc, _addi(13, 13, -1), 13, STEPS - step - 1); pc += 4
+        commit(pc, _bne(13, 0, loop - pc)); pc += 4
+        idx = nxt
+    commit(pc, _addi(1, 0, 0), 1, 0)
+    return lines
+
+
+if __name__ == "__main__":
+    print("\n".join(emit()))

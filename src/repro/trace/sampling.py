@@ -440,8 +440,20 @@ def run_sampled(
         )
     # delta from entry: the same pipe may have committed instructions
     # before run_sampled was called, and those are not ours to report
-    return _merge(windows, plan, stream,
-                  simulated=pipe.committed - entry_committed, engine=engine)
+    result = _merge(windows, plan, stream,
+                    simulated=pipe.committed - entry_committed, engine=engine)
+    phase_counts = getattr(trace, "phase_counts", None)
+    if callable(phase_counts):
+        # phase-aware sources (scenario streams): switching is driven by
+        # *consumed* uops, so warm-up gaps advance phases exactly as the
+        # detailed windows do -- record where the run ended up.  Mutating
+        # the merged dict here also updates the telemetry envelope's
+        # aliases (they share the dict object by design).
+        result.extra["sampling"]["phases"] = {
+            "consumed": phase_counts(),
+            "switches": len(trace.switch_points()),
+        }
+    return result
 
 
 def attach_error(sampled: SimResult, full: SimResult) -> float:

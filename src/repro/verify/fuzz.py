@@ -20,6 +20,13 @@ toward one failure mode of a load/store queue:
   overflow/deadlock flush paths.
 * ``mixed``          -- a bit of everything (the default).
 
+Since the scenario-catalog refactor the parameter table lives in
+:data:`repro.scenarios.stressors.VERIFY_PROFILE_DATA`, which also adds
+catalog-stressor projections (``pointer_chase``, ``mshr_saturation``,
+``tlb_thrash``, ``stack_churn``), and :func:`generate_program` accepts
+scenario names (``phase_ping_pong``, inline ``scenario:{json}``...) --
+compiled scenario streams satisfy the same word-granularity contract.
+
 All accesses are size-aligned and stay inside one 8-byte word (the
 synthetic ISA contract the ARB model's word granularity relies on).
 Generation is fully deterministic: ``generate_program(seed, profile)``
@@ -36,6 +43,7 @@ from typing import Iterator
 from repro.common.rng import derive_seed
 from repro.isa.opclasses import OpClass
 from repro.isa.uop import UOp
+from repro.scenarios.stressors import VERIFY_PROFILE_DATA
 
 #: base of the synthetic data segment (two pages above zero)
 BASE_ADDR = 0x1000
@@ -63,20 +71,13 @@ class Profile:
     max_src_distance: int = 8
 
 
+# The profile parameters live in the scenario catalog's stressor table
+# (repro.scenarios.stressors.VERIFY_PROFILE_DATA): this module is a thin
+# adapter that materialises them as frozen Profile objects.  The legacy
+# six come first (campaign profile-cycling order is part of the
+# reproducibility contract); catalog-stressor projections follow.
 _PROFILES: dict[str, Profile] = {
-    p.name: p
-    for p in (
-        Profile("aliasing", (0.40, 0.40, 0.15, 0.05), (0, 1), (0, 1, 2, 3)),
-        Profile("sizes", (0.45, 0.40, 0.10, 0.05), (0, 1, 2), (0, 1)),
-        Profile("bank_conflict", (0.35, 0.40, 0.20, 0.05),
-                tuple(64 * k for k in range(8)), (0, 1, 2, 3)),
-        Profile("branch_storm", (0.20, 0.15, 0.20, 0.45), (0, 1, 2, 3), (0, 1, 2, 3)),
-        Profile("addr_pressure", (0.25, 0.45, 0.25, 0.05),
-                tuple(3 * k for k in range(32)), (0, 1, 2, 3),
-                max_src_distance=12),
-        Profile("mixed", (0.30, 0.30, 0.25, 0.15),
-                (0, 1, 2, 5, 64, 65, 128), (0, 1, 2, 3)),
-    )
+    name: Profile(name, **data) for name, data in VERIFY_PROFILE_DATA.items()
 }
 
 PROFILE_NAMES: tuple[str, ...] = tuple(_PROFILES)
@@ -87,14 +88,43 @@ def get_profile(name: str) -> Profile:
     return _PROFILES[name]
 
 
+def _scenario_program(seed: int, profile: str, length: int | None) -> list[UOp]:
+    """Compile a catalog scenario (or inline ``scenario:{json}`` spec)
+    into one bounded conformance program.
+
+    Scenario streams honour the fuzzer's access contract by construction
+    (size-aligned power-of-two accesses <= 8 bytes never leave their
+    8-byte word), so the differential models consume them unchanged.
+    """
+    from repro.scenarios import scenario_stream
+
+    rng = random.Random(derive_seed(seed, "verify-fuzz", profile))
+    n = length if length is not None else rng.randint(20, 120)
+    stream = scenario_stream(
+        profile if profile.startswith("scenario:") else f"scenario:{profile}",
+        seed=derive_seed(seed, "verify-fuzz", profile),
+    )
+    return stream.take(n)
+
+
 def generate_program(
     seed: int, profile: str = "mixed", length: int | None = None
 ) -> list[UOp]:
     """Deterministically generate one stress program.
 
+    ``profile`` is a fuzz profile name, a scenario catalog name, or an
+    inline ``scenario:{json}`` spec (fuzz profiles win name collisions).
     ``length`` overrides the profile's random op count (used by tests and
     the minimizer; normal campaigns let the profile choose).
     """
+    if profile not in _PROFILES:
+        from repro.scenarios import has_scenario
+
+        if profile.startswith("scenario:"):
+            if has_scenario(profile):
+                return _scenario_program(seed, profile, length)
+        elif has_scenario(f"scenario:{profile}"):
+            return _scenario_program(seed, profile, length)
     prof = get_profile(profile)
     rng = random.Random(derive_seed(seed, "verify-fuzz", profile))
     n = length if length is not None else rng.randint(prof.min_ops, prof.max_ops)

@@ -1,17 +1,22 @@
 """Workload lookup and trace construction.
 
-Two families of workloads live here:
+Three families of workloads live here:
 
 * the 26 synthetic SPEC2000 analogues (:data:`SPEC2000_PROFILES`),
   generated live by :class:`~repro.workloads.base.TraceBuilder`;
 * recorded/ingested ``.uoptrace`` files (:mod:`repro.trace`), addressed
   by a registered name or directly by the canonical ``trace:<path>``
   spec name -- the latter needs no registration and therefore resolves
-  identically in sweep-engine worker processes.
+  identically in sweep-engine worker processes;
+* declarative scenarios (:mod:`repro.scenarios`), addressed by
+  ``scenario:<catalog-name>`` or an inline ``scenario:{json}`` spec --
+  like ``trace:``, scheme names are self-contained and resolve
+  identically in worker processes.
 """
 
 from __future__ import annotations
 
+import difflib
 import os
 from typing import Iterator
 
@@ -22,6 +27,29 @@ from repro.workloads.spec2000 import PAPER_ORDER, SPEC2000_PROFILES
 #: spec-name prefix that resolves a workload directly to a trace file;
 #: the producing side (repro.trace.workload.spec_name) imports this too
 TRACE_SCHEME = "trace:"
+
+#: spec-name prefix for declarative scenarios (repro.scenarios)
+SCENARIO_SCHEME = "scenario:"
+
+
+class UnknownWorkloadError(ValueError, KeyError):
+    """Unknown workload name, with close-match suggestions.
+
+    Subclasses both ``ValueError`` (the documented contract) and
+    ``KeyError`` (the historical one, which the service layer's HTTP
+    error mapping and existing callers still catch).
+    """
+
+    # KeyError.__str__ repr-quotes args[0]; keep the plain message
+    __str__ = Exception.__str__
+
+
+def _unknown(name: str, available: list[str]) -> UnknownWorkloadError:
+    close = difflib.get_close_matches(name, available, n=3)
+    hint = f"; did you mean: {', '.join(close)}?" if close else ""
+    return UnknownWorkloadError(
+        f"unknown workload {name!r}; available: {', '.join(available)}{hint}"
+    )
 
 #: session-local registered trace workloads: name -> absolute file path
 _TRACE_WORKLOADS: dict[str, str] = {}
@@ -84,19 +112,24 @@ def has_workload(name: str) -> bool:
     """True when :func:`make_trace` can resolve ``name``."""
     if name in SPEC2000_PROFILES or name in _TRACE_WORKLOADS:
         return True
+    if name.startswith(SCENARIO_SCHEME):
+        from repro.scenarios import has_scenario
+
+        return has_scenario(name)
     path = resolve_trace_path(name)
     return path is not None and os.path.exists(path)
 
 
 def get_workload(name: str) -> WorkloadProfile:
-    """Synthetic profile by name; raises ``KeyError`` with suggestions."""
+    """Synthetic profile by name.
+
+    Raises :class:`UnknownWorkloadError` (a ``ValueError``) listing the
+    known workloads with a ``difflib`` close-match suggestion.
+    """
     try:
         return SPEC2000_PROFILES[name]
     except KeyError:
-        raise KeyError(
-            f"unknown workload {name!r}; available: "
-            f"{', '.join(sorted(SPEC2000_PROFILES))}"
-        ) from None
+        raise _unknown(name, sorted(SPEC2000_PROFILES)) from None
 
 
 def make_trace(name: str, seed: int = 1) -> Iterator[UOp]:
@@ -104,15 +137,18 @@ def make_trace(name: str, seed: int = 1) -> Iterator[UOp]:
 
     Synthetic workloads yield an endless generated stream (the pipeline
     bounds the run); trace workloads replay their recorded stream, which
-    is finite and independent of ``seed``.
+    is finite and independent of ``seed``; ``scenario:`` workloads
+    compile their declarative spec (endless, seed-dependent).
     """
+    if name.startswith(SCENARIO_SCHEME):
+        from repro.scenarios import scenario_stream
+
+        return scenario_stream(name, seed=seed)
     path = resolve_trace_path(name)
     if path is not None:
         return _replay_trace(path)
     if name not in SPEC2000_PROFILES:
-        raise KeyError(
-            f"unknown workload {name!r}; available: {', '.join(list_workloads())}"
-        )
+        raise _unknown(name, list_workloads()) from None
     return TraceBuilder(get_workload(name), seed).generate()
 
 

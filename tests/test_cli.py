@@ -32,9 +32,41 @@ class TestCLI:
     def test_experiments_list_complete(self):
         assert len(EXPERIMENTS) == 12
 
-    def test_run_unknown_workload(self):
-        with pytest.raises(KeyError):
-            main(["run", "quake3"])
+    def test_run_unknown_workload(self, capsys):
+        # unknown workloads exit cleanly with suggestions, no traceback
+        assert main(["run", "quake3"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown workload" in err and "equake" in err
+
+    def test_run_unknown_scenario_suggests(self, capsys):
+        assert main(["run", "scenario:smt_mixx"]) == 1
+        assert "did you mean: smt_mix" in capsys.readouterr().err
+
+    def test_run_scenario_spec(self, capsys):
+        rc = main(["run", "scenario:aliasing_storm",
+                   "--instructions", "500", "--warmup", "100", "--no-cache"])
+        assert rc == 0
+        assert "ipc=" in capsys.readouterr().out
+
+    def test_scenarios_list(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "phase_ping_pong" in out and "smt_storm" in out
+
+    def test_scenarios_show(self, capsys):
+        assert main(["scenarios", "show", "smt_mix"]) == 0
+        out = capsys.readouterr().out
+        assert '"interleave":64' in out and "bank_conflict" in out
+
+    def test_scenarios_run(self, capsys):
+        rc = main(["scenarios", "run", "tlb_thrash",
+                   "--instructions", "500", "--warmup", "100", "--no-cache"])
+        assert rc == 0
+        assert "ipc=" in capsys.readouterr().out
+
+    def test_workloads_verbose_lists_scenarios(self, capsys):
+        assert main(["workloads", "--verbose"]) == 0
+        assert "scenario:" in capsys.readouterr().out
 
     def test_run_many_workloads_with_jobs(self, capsys):
         import os
